@@ -1,0 +1,208 @@
+(* The benchmark executable regenerates every table and figure of the
+   paper's evaluation (Section 6) and then times the hardware-critical
+   algorithms with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- fig11        -- one experiment
+     dune exec bench/main.exe -- micro        -- only the micro-benchmarks
+     dune exec bench/main.exe -- list         -- experiment names *)
+
+let experiments : (string * (unit -> Experiments.outcome)) list =
+  [
+    ("fig11", fun () -> Experiments.fig11 ());
+    ("fig12", fun () -> Experiments.fig12 ());
+    ("fig13", fun () -> Experiments.fig13 ());
+    ("fig14", fun () -> Experiments.fig14 ());
+    ("fig15", fun () -> Experiments.fig15 ());
+    ("fig16", fun () -> Experiments.fig16 ());
+    ("table1", fun () -> Experiments.table1 ());
+    ("table2", fun () -> Experiments.table2 ());
+    ("ablation", fun () -> Ablation.experiment ());
+  ]
+
+(* Figure-style ASCII charts rendered next to the tables. *)
+let chart_of name (o : Experiments.outcome) =
+  let rows = Tables.data_rows o.Experiments.table in
+  let strip s = try float_of_string (String.sub s 0 (String.length s - 1)) with _ -> 0.0 in
+  match name with
+  | "fig11" ->
+    let series =
+      List.filter_map
+        (fun row ->
+          match row with
+          | [ k; m128; m512; _; _; _ ] when k <> "geomean" && k <> "paper (avg)" ->
+            Some (k, [ strip m128; strip m512 ])
+          | _ -> None)
+        rows
+    in
+    Some
+      (Chart.grouped ~title:"Figure 11 (chart): speedup vs 16-core CPU"
+         ~series_names:[ "M-128"; "M-512" ] series)
+  | "fig15" ->
+    let series =
+      List.filter_map
+        (fun row ->
+          match row with
+          | [ pes; dflt; _; _ ] when pes <> "paper" -> Some (pes ^ " PEs", strip dflt)
+          | _ -> None)
+        rows
+    in
+    Some (Chart.bars ~title:"Figure 15 (chart): nn scaling, default memory" series)
+  | _ -> None
+
+let run_experiment ?csv_dir name f =
+  let t0 = Unix.gettimeofday () in
+  let outcome = f () in
+  Printf.printf "\n";
+  Tables.print outcome.Experiments.table;
+  (match chart_of name outcome with
+  | Some chart ->
+    print_newline ();
+    print_string chart
+  | None -> ());
+  (match csv_dir with
+  | Some dir ->
+    let path = Filename.concat dir (name ^ ".csv") in
+    Export.write_file ~path (Export.outcome_to_csv outcome);
+    Printf.printf "[wrote %s]\n" path
+  | None -> ());
+  Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure, timing the piece of
+   MESA machinery that experiment leans on.                             *)
+
+let nn_small = Workloads.nn ~n:256 ()
+let dfg_nn = lazy (Runner.dfg_of_kernel nn_small)
+
+let staged_controller () =
+  (* fig11/fig14 backbone: a full monitored, translated, offloaded run. *)
+  let mem = Main_memory.create () in
+  let machine = Kernel.prepare nn_small mem in
+  ignore (Controller.run nn_small.Kernel.program machine)
+
+let staged_modulo_schedule () =
+  (* fig12: OpenCGRA's modulo scheduler. *)
+  ignore (Opencgra.schedule (Lazy.force dfg_nn) ~grid:Grid.m128)
+
+let staged_energy () =
+  (* fig13/fig16: energy accounting over a synthetic activity record. *)
+  let a = Activity.create () in
+  a.Activity.int_ops <- 10_000;
+  a.Activity.fp_ops <- 10_000;
+  a.Activity.mem_ops <- 5_000;
+  a.Activity.local_transfers <- 30_000;
+  a.Activity.noc_transfers <- 2_000;
+  a.Activity.cycles <- 40_000;
+  ignore (Energy_model.accel_energy ~grid:Grid.m128 a)
+
+let staged_dynaspam () =
+  (* fig14 baseline: the DynaSpAM analytic model. *)
+  ignore (Dynaspam.run (Lazy.force dfg_nn) ~iterations:1000)
+
+let staged_engine () =
+  (* fig15 backbone: one accelerator execution of the nn loop. *)
+  let dfg = Lazy.force dfg_nn in
+  let model = Perf_model.create dfg in
+  let placement =
+    Result.get_ok (Mapper.map ~grid:Grid.m128 ~kind:Interconnect.Mesh_noc model)
+  in
+  let config = Accel_config.with_opts ~tiling:4 ~pipelined:true placement in
+  let mem = Main_memory.create () in
+  let machine = Kernel.prepare nn_small mem in
+  let hier = Hierarchy.create Hierarchy.default_config in
+  ignore (Engine.execute ~config ~dfg ~machine ~hier ())
+
+let staged_mapper () =
+  (* Algorithm 1, the latency-minimizing instruction mapping (fig16 pays
+     this on every reconfiguration). *)
+  ignore
+    (Mapper.map ~grid:Grid.m128 ~kind:Interconnect.Mesh_noc
+       (Perf_model.create (Lazy.force dfg_nn)))
+
+let staged_area_model () =
+  (* table1: the parametric synthesis model. *)
+  ignore (Area_model.full_table ~capacity:512 ~grid:Grid.m128)
+
+let staged_translation () =
+  (* table2: LDFG build + map + configuration sizing. *)
+  let dfg = Lazy.force dfg_nn in
+  let model = Perf_model.create dfg in
+  match Mapper.map ~grid:Grid.m128 ~kind:Interconnect.Mesh_noc model with
+  | Ok placement ->
+    ignore
+      (Config_manager.translation_cycles Mapper.default_config dfg
+         (Accel_config.plain placement))
+  | Error _ -> ()
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let test =
+    Test.make_grouped ~name:"mesa"
+      [
+        Test.make ~name:"fig11+fig14:controller-end-to-end" (Staged.stage staged_controller);
+        Test.make ~name:"fig12:opencgra-modulo-schedule" (Staged.stage staged_modulo_schedule);
+        Test.make ~name:"fig13:energy-accounting" (Staged.stage staged_energy);
+        Test.make ~name:"fig14:dynaspam-model" (Staged.stage staged_dynaspam);
+        Test.make ~name:"fig15:engine-execution" (Staged.stage staged_engine);
+        Test.make ~name:"fig16:mapper-algorithm1" (Staged.stage staged_mapper);
+        Test.make ~name:"table1:area-model" (Staged.stage staged_area_model);
+        Test.make ~name:"table2:translation-cost" (Staged.stage staged_translation);
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let t =
+    Tables.create ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
+      [ ("benchmark", Tables.Left); ("time per run", Tables.Right) ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+        let pretty =
+          if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+          else Printf.sprintf "%.0f ns" ns
+        in
+        rows := (name, pretty) :: !rows
+      | _ -> rows := (name, "n/a") :: !rows)
+    results;
+  List.iter (fun (n, v) -> Tables.add_row t [ n; v ]) (List.sort compare !rows);
+  print_newline ();
+  Tables.print t
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* Optional: --csv DIR writes each outcome as CSV next to the console
+     output. *)
+  let csv_dir, args =
+    match args with
+    | "--csv" :: dir :: rest ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      (Some dir, rest)
+    | _ -> (None, args)
+  in
+  match args with
+  | [] ->
+    List.iter (fun (name, f) -> run_experiment ?csv_dir name f) experiments;
+    micro_benchmarks ()
+  | [ "micro" ] -> micro_benchmarks ()
+  | [ "list" ] ->
+    List.iter (fun (name, _) -> print_endline name) experiments;
+    print_endline "micro"
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> run_experiment ?csv_dir name f
+        | None ->
+          Printf.eprintf "unknown experiment %s (try: dune exec bench/main.exe -- list)\n"
+            name;
+          exit 1)
+      names

@@ -1,0 +1,313 @@
+(* mesa_cli — inspect and run the MESA reproduction from the command line.
+
+   Subcommands:
+     list                     kernel registry
+     disasm  <kernel>         disassemble a kernel
+     dfg     <kernel>         show its LDFG (use --dot for Graphviz)
+     map     <kernel>         map it and show the placement
+     run     <kernel>         run under MESA and compare with CPU baselines
+     bench   [experiment...]  regenerate the paper's tables/figures *)
+
+open Cmdliner
+
+let kernel_arg =
+  let doc = "Benchmark kernel name (see `mesa_cli list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let grid_arg =
+  let doc = "Accelerator configuration: 64, 128 or 512 PEs." in
+  Arg.(value & opt int 128 & info [ "grid" ] ~docv:"PES" ~doc)
+
+let grid_of = function
+  | 64 -> Grid.m64
+  | 128 -> Grid.m128
+  | 512 -> Grid.m512
+  | n -> Grid.of_pe_count n
+
+let find_kernel name =
+  match Workloads.find name with
+  | k -> Ok k
+  | exception Not_found ->
+    Error (`Msg (Printf.sprintf "unknown kernel %S; try `mesa_cli list`" name))
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Tables.create
+        [
+          ("kernel", Tables.Left);
+          ("description", Tables.Left);
+          ("loop size", Tables.Right);
+          ("iterations", Tables.Right);
+          ("parallel", Tables.Left);
+        ]
+    in
+    List.iter
+      (fun (k : Kernel.t) ->
+        let dfg = Runner.dfg_of_kernel k in
+        Tables.add_row t
+          [
+            k.Kernel.name;
+            k.Kernel.description;
+            string_of_int (Dfg.node_count dfg);
+            Tables.icell k.Kernel.n;
+            (if k.Kernel.parallel then "omp" else "-");
+          ])
+      (Workloads.all ());
+    Tables.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels")
+    Term.(const run $ const ())
+
+(* ---------------- disasm ---------------- *)
+
+let disasm_cmd =
+  let run name =
+    Result.map
+      (fun (k : Kernel.t) -> print_string (Disasm.listing k.Kernel.program))
+      (find_kernel name)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a kernel")
+    Term.(term_result (const run $ kernel_arg))
+
+(* ---------------- dfg ---------------- *)
+
+let dfg_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  let run name dot =
+    Result.map
+      (fun k ->
+        let dfg = Runner.dfg_of_kernel k in
+        if dot then print_string (Dfg.to_dot dfg)
+        else begin
+          Format.printf "%a@." Dfg.pp dfg;
+          let model = Perf_model.create dfg in
+          Format.printf "static iteration latency: %.1f cycles@."
+            (Perf_model.iteration_latency model);
+          Format.printf "critical path: %s@."
+            (String.concat " -> "
+               (List.map string_of_int (Perf_model.critical_path model)))
+        end)
+      (find_kernel name)
+  in
+  Cmd.v (Cmd.info "dfg" ~doc:"Show a kernel's logical dataflow graph")
+    Term.(term_result (const run $ kernel_arg $ dot))
+
+(* ---------------- map ---------------- *)
+
+let map_cmd =
+  let run name pes =
+    Result.bind (find_kernel name) (fun k ->
+        let grid = grid_of pes in
+        let dfg = Runner.dfg_of_kernel k in
+        let model = Perf_model.create dfg in
+        match Mapper.map ~grid ~kind:Interconnect.Mesh_noc model with
+        | Error e -> Error (`Msg ("mapping failed: " ^ e))
+        | Ok p ->
+          Format.printf "%a@." Placement.pp p;
+          Format.printf "modeled iteration latency: %.1f cycles@."
+            (Perf_model.iteration_latency model);
+          let mo = Mem_opt.analyze dfg in
+          Format.printf
+            "memory optimizations: %d forwarding pair(s), %d vector group(s), %d prefetched load(s)@."
+            (List.length mo.Mem_opt.forwarding)
+            (List.length mo.Mem_opt.vector_groups)
+            (List.length mo.Mem_opt.prefetched);
+          let ld =
+            Loop_opt.decide ~grid ~dfg
+              ~pragma:(Program.pragma_at k.Kernel.program dfg.Dfg.entry_addr)
+          in
+          Format.printf "loop optimizations: tiling x%d, pipelined %b@."
+            ld.Loop_opt.tiling ld.Loop_opt.pipelined;
+          Ok ())
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Run Algorithm 1 and show the spatial placement")
+    Term.(term_result (const run $ kernel_arg $ grid_arg))
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let no_opt =
+    Arg.(value & flag & info [ "no-optimize" ] ~doc:"Disable MESA's optimizations.")
+  in
+  let no_iter =
+    Arg.(value & flag & info [ "no-iterative" ] ~doc:"Disable runtime reoptimization.")
+  in
+  let run name pes no_opt no_iter =
+    Result.map
+      (fun k ->
+        let grid = grid_of pes in
+        let single = Runner.single_core k in
+        let multi = Runner.multicore k in
+        let mesa, report =
+          Runner.mesa ~grid ~optimize:(not no_opt) ~iterative:(not no_iter) k
+        in
+        let t =
+          Tables.create
+            ~title:(Printf.sprintf "%s (%s)" k.Kernel.name k.Kernel.description)
+            [
+              ("configuration", Tables.Left);
+              ("cycles", Tables.Right);
+              ("speedup", Tables.Right);
+              ("energy (uJ)", Tables.Right);
+              ("outputs", Tables.Left);
+            ]
+        in
+        let row (m : Runner.measurement) =
+          Tables.add_row t
+            [
+              m.Runner.label;
+              Tables.icell m.Runner.cycles;
+              Tables.xcell (Runner.speedup ~baseline:single m);
+              Tables.fcell (m.Runner.energy_nj /. 1000.0);
+              (match m.Runner.checked with Ok () -> "ok" | Error e -> "FAIL: " ^ e);
+            ]
+        in
+        row single;
+        row multi;
+        row mesa;
+        Tables.print t;
+        Printf.printf
+          "\nMESA breakdown: cpu %d + accel %d + overhead %d cycles; %d offload(s); translation busy %d cycles\n"
+          report.Controller.cpu_cycles report.Controller.accel_cycles
+          report.Controller.overhead_cycles report.Controller.offloads
+          report.Controller.mesa_busy_cycles;
+        List.iter
+          (fun (r : Controller.region_report) ->
+            if r.Controller.accepted then
+              Printf.printf
+                "region 0x%x: %d instrs, tiling x%d, %d iterations on fabric, %d reconfiguration(s)\n"
+                r.Controller.entry r.Controller.size r.Controller.tiling
+                r.Controller.accel_iterations r.Controller.reconfigurations
+            else
+              Printf.printf "region 0x%x rejected: %s\n" r.Controller.entry
+                (Option.value r.Controller.reject_reason ~default:"?"))
+          report.Controller.regions)
+      (find_kernel name)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a kernel under MESA against the CPU baselines")
+    Term.(term_result (const run $ kernel_arg $ grid_arg $ no_opt $ no_iter))
+
+(* ---------------- schedule ---------------- *)
+
+let schedule_cmd =
+  let run name pes =
+    Result.bind (find_kernel name) (fun k ->
+        let grid = grid_of pes in
+        let dfg = Runner.dfg_of_kernel k in
+        let model = Perf_model.create dfg in
+        match Mapper.map ~grid ~kind:Interconnect.Mesh_noc model with
+        | Error e -> Error (`Msg e)
+        | Ok placement ->
+          let slots = Schedule_view.compute model placement in
+          print_string (Schedule_view.gantt dfg slots);
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Show the one-iteration Gantt schedule of a mapped kernel")
+    Term.(term_result (const run $ kernel_arg $ grid_arg))
+
+(* ---------------- imap ---------------- *)
+
+let imap_cmd =
+  let run name =
+    Result.map
+      (fun k ->
+        let dfg = Runner.dfg_of_kernel k in
+        print_string (Imap_fsm.timing_diagram Mapper.default_config dfg);
+        Printf.printf "total mapping cycles: %d\n"
+          (Imap_fsm.cycles Mapper.default_config dfg))
+      (find_kernel name)
+  in
+  Cmd.v
+    (Cmd.info "imap" ~doc:"Show the Figure 8 instruction-mapping FSM timing diagram")
+    Term.(term_result (const run $ kernel_arg))
+
+(* ---------------- anneal ---------------- *)
+
+let anneal_cmd =
+  let proposals =
+    Arg.(value & opt int 2000 & info [ "proposals" ] ~doc:"Annealing proposals.")
+  in
+  let run name pes proposals =
+    Result.bind (find_kernel name) (fun k ->
+        let grid = grid_of pes in
+        let dfg = Runner.dfg_of_kernel k in
+        let model = Perf_model.create dfg in
+        match Mapper.map ~grid ~kind:Interconnect.Mesh_noc model with
+        | Error e -> Error (`Msg e)
+        | Ok greedy ->
+          let refined, stats =
+            Mapper_anneal.refine ~proposals ~grid ~kind:Interconnect.Mesh_noc ~model greedy
+          in
+          Format.printf "%a@." Placement.pp refined;
+          Printf.printf
+            "greedy %.1f -> annealed %.1f modeled cycles (%d/%d proposals accepted, %d improving)\n"
+            stats.Mapper_anneal.initial_latency stats.Mapper_anneal.final_latency
+            stats.Mapper_anneal.accepted stats.Mapper_anneal.proposals
+            stats.Mapper_anneal.improved;
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "anneal"
+       ~doc:"Refine Algorithm 1's placement with simulated annealing (future-work mapper)")
+    Term.(term_result (const run $ kernel_arg $ grid_arg $ proposals))
+
+(* ---------------- bench ---------------- *)
+
+let bench_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"fig11..fig16, table1, table2")
+  in
+  let run names =
+    let all = Experiments.all in
+    let chosen =
+      match names with
+      | [] -> List.map fst (all ()) |> fun _ -> None
+      | ns -> Some ns
+    in
+    match chosen with
+    | None ->
+      List.iter
+        (fun (_, (o : Experiments.outcome)) ->
+          Tables.print o.Experiments.table;
+          print_newline ())
+        (all ());
+      Ok ()
+    | Some ns ->
+      let table = [
+        ("fig11", fun () -> Experiments.fig11 ());
+        ("fig12", fun () -> Experiments.fig12 ());
+        ("fig13", fun () -> Experiments.fig13 ());
+        ("fig14", fun () -> Experiments.fig14 ());
+        ("fig15", fun () -> Experiments.fig15 ());
+        ("fig16", fun () -> Experiments.fig16 ());
+        ("table1", fun () -> Experiments.table1 ());
+        ("table2", fun () -> Experiments.table2 ());
+        ("ablation", fun () -> Ablation.experiment ());
+      ]
+      in
+      List.fold_left
+        (fun acc n ->
+          Result.bind acc (fun () ->
+              match List.assoc_opt n table with
+              | Some f ->
+                Tables.print (f ()).Experiments.table;
+                print_newline ();
+                Ok ()
+              | None -> Error (`Msg ("unknown experiment " ^ n))))
+        (Ok ()) ns
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
+    Term.(term_result (const run $ names))
+
+let () =
+  let doc = "MESA: microarchitecture extensions for spatial architecture generation" in
+  let info = Cmd.info "mesa_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; bench_cmd ]))

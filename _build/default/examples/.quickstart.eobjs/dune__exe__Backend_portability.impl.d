@@ -1,0 +1,1 @@
+examples/backend_portability.ml: Accel_config Array Dfg Engine Format Grid Hierarchy Interconnect Kernel List Main_memory Mapper Perf_model Placement Printf Runner Workloads

@@ -1,0 +1,1 @@
+examples/iterative_optimization.mli:

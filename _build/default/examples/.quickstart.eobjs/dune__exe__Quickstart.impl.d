@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asm Controller Cpu_run Disasm List Machine Main_memory Printf Program Reg

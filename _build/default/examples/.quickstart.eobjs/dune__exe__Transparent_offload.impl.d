@@ -1,0 +1,1 @@
+examples/transparent_offload.ml: Accel_config Controller Dfg Disasm Format Grid Interconnect Kernel List Loop_opt Mapper Mem_opt Perf_model Placement Printf Program Runner String Workloads

@@ -1,0 +1,1 @@
+examples/transparent_offload.mli:

@@ -1,0 +1,1 @@
+lib/accel/accel_config.ml: Array Dfg Isa Placement Stats

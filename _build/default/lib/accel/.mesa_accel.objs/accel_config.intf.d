@@ -1,0 +1,1 @@
+lib/accel/accel_config.mli: Dfg Placement

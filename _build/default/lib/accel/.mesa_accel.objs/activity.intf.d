@@ -1,0 +1,1 @@
+lib/accel/activity.mli:

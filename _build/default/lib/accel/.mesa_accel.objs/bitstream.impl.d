@@ -1,0 +1,1 @@
+lib/accel/bitstream.ml: Accel_config Array Decode Dfg Encode Grid Int32 Interconnect List Option Placement Printf

@@ -1,0 +1,1 @@
+lib/accel/bitstream.mli: Accel_config Dfg

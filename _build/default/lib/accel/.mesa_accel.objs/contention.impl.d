@@ -1,0 +1,1 @@
+lib/accel/contention.ml: Float Hashtbl Option

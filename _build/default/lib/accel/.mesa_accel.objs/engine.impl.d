@@ -1,0 +1,1 @@
+lib/accel/engine.ml: Accel_config Activity Array Contention Dfg Float Format Grid Hashtbl Hierarchy Interconnect Interp Isa Latency List Machine Main_memory Option Placement Printf Reg Stats Sys

@@ -1,0 +1,1 @@
+lib/accel/engine.mli: Accel_config Activity Dfg Hierarchy Machine Stdlib

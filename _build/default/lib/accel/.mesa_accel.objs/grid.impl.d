@@ -1,0 +1,1 @@
+lib/accel/grid.ml: Isa Option Printf Stats

@@ -1,0 +1,1 @@
+lib/accel/grid.mli: Isa

@@ -1,0 +1,1 @@
+lib/accel/interconnect.ml: Grid Stats

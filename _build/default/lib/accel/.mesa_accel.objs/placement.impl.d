@@ -1,0 +1,1 @@
+lib/accel/placement.ml: Array Dfg Format Grid Hashtbl Interconnect Isa Printf

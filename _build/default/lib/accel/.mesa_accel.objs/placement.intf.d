@@ -1,0 +1,1 @@
+lib/accel/placement.mli: Dfg Format Grid Interconnect

@@ -1,0 +1,1 @@
+lib/accel/schedule_view.ml: Array Buffer Bytes Dfg Disasm Float Grid List Perf_model Placement Printf

@@ -1,0 +1,1 @@
+lib/accel/schedule_view.mli: Dfg Perf_model Placement

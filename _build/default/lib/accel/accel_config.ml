@@ -1,0 +1,38 @@
+type t = {
+  placement : Placement.t;
+  forwarding : (int * int) list;
+  vector_groups : int list list;
+  prefetched : int list;
+  tiling : int;
+  pipelined : bool;
+}
+
+let plain placement =
+  { placement; forwarding = []; vector_groups = []; prefetched = []; tiling = 1; pipelined = false }
+
+let with_opts ?(forwarding = []) ?(vector_groups = []) ?(prefetched = []) ?(tiling = 1)
+    ?(pipelined = false) placement =
+  if tiling < 1 then invalid_arg "Accel_config.with_opts: tiling must be >= 1";
+  { placement; forwarding; vector_groups; prefetched; tiling; pipelined }
+
+(* Per node: 32-bit instruction descriptor + 2 x 16-bit source selects +
+   8 routing-control bits. Per LS entry additionally a 16-bit ordering tag.
+   Tiled instances are written in full. *)
+let bitstream_bits t (dfg : Dfg.t) =
+  let per_node = 32 + (2 * 16) + 8 in
+  let mem_nodes =
+    Array.fold_left
+      (fun acc nd -> if Isa.is_memory nd.Dfg.instr then acc + 1 else acc)
+      0 dfg.Dfg.nodes
+  in
+  let per_instance = (Dfg.node_count dfg * per_node) + (mem_nodes * 16) in
+  t.tiling * per_instance
+
+let config_cycles t dfg =
+  (* Config words stream at two cycles each over the configuration network.
+     Tiled instances are bit-identical (Figure 6 duplicates one virtual
+     SDFG), so they are written by multicast: one instance's stream plus a
+     per-instance routing tail. A fixed setup/drain tail covers the control
+     transfer. Calibrated to the paper's 10^3-10^4-cycle band. *)
+  let instance_words = Stats.div_ceil (bitstream_bits t dfg / t.tiling) 32 in
+  (2 * instance_words) + (8 * t.tiling) + 768

@@ -1,0 +1,43 @@
+(** A complete accelerator configuration: the placement plus the loop-level
+    and memory optimizations MESA decided to apply (§4.2-4.3).
+
+    This is the abstract form of the configuration bitstream the
+    configuration manager writes to the fabric; {!bitstream_bits} sizes it
+    for the config-time cost model of Table 2. *)
+
+type t = {
+  placement : Placement.t;
+  forwarding : (int * int) list;
+      (** [(load, store)]: store-load forwarding pairs — the load takes its
+          value directly from the store's broadcast instead of the cache *)
+  vector_groups : int list list;
+      (** groups of loads off the same base register coalesced into one wide
+          access; the group leader pays the AMAT, members ride along *)
+  prefetched : int list;
+      (** loads whose address depends only on induction registers, issued an
+          iteration ahead so they complete at L1-hit cost *)
+  tiling : int;       (** SDFG instances executing in parallel (Figure 6) *)
+  pipelined : bool;   (** overlap successive iterations at the loop's II *)
+}
+
+val plain : Placement.t -> t
+(** A configuration with no optimizations (tiling 1, no pipelining). *)
+
+val with_opts :
+  ?forwarding:(int * int) list ->
+  ?vector_groups:int list list ->
+  ?prefetched:int list ->
+  ?tiling:int ->
+  ?pipelined:bool ->
+  Placement.t ->
+  t
+
+val bitstream_bits : t -> Dfg.t -> int
+(** Size of the configuration stream: per placed node an opcode+operand
+    descriptor and routing selects, per LS entry its ordering tag, times the
+    tiling factor. *)
+
+val config_cycles : t -> Dfg.t -> int
+(** Cycles MESA's configuration block needs to write the bitstream (one
+    32-bit config word per cycle plus handshake overhead) — the measured
+    quantity in Table 2. *)

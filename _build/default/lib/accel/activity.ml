@@ -1,0 +1,41 @@
+type t = {
+  mutable int_ops : int;
+  mutable fp_ops : int;
+  mutable mem_ops : int;
+  mutable branch_ops : int;
+  mutable disabled_ops : int;
+  mutable forwarded_loads : int;
+  mutable local_transfers : int;
+  mutable noc_transfers : int;
+  mutable iterations : int;
+  mutable cycles : int;
+}
+
+let create () =
+  {
+    int_ops = 0;
+    fp_ops = 0;
+    mem_ops = 0;
+    branch_ops = 0;
+    disabled_ops = 0;
+    forwarded_loads = 0;
+    local_transfers = 0;
+    noc_transfers = 0;
+    iterations = 0;
+    cycles = 0;
+  }
+
+let add acc src =
+  acc.int_ops <- acc.int_ops + src.int_ops;
+  acc.fp_ops <- acc.fp_ops + src.fp_ops;
+  acc.mem_ops <- acc.mem_ops + src.mem_ops;
+  acc.branch_ops <- acc.branch_ops + src.branch_ops;
+  acc.disabled_ops <- acc.disabled_ops + src.disabled_ops;
+  acc.forwarded_loads <- acc.forwarded_loads + src.forwarded_loads;
+  acc.local_transfers <- acc.local_transfers + src.local_transfers;
+  acc.noc_transfers <- acc.noc_transfers + src.noc_transfers;
+  acc.iterations <- acc.iterations + src.iterations;
+  acc.cycles <- acc.cycles + src.cycles
+
+let total_ops t =
+  t.int_ops + t.fp_ops + t.mem_ops + t.branch_ops + t.disabled_ops

@@ -1,0 +1,230 @@
+let magic = 0x4D455341l (* "MESA" *)
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Field packing helpers. All values travel as int32 words; within this
+   module we manipulate them as non-negative ints below 2^32.           *)
+
+let to_word i = Int32.of_int (i land 0xFFFFFFFF)
+let of_word w = Int32.to_int w land 0xFFFFFFFF
+
+let src_word = function
+  | Dfg.Node i ->
+    if i < 0 || i >= 1 lsl 24 then invalid_arg "Bitstream: node index out of range";
+    (1 lsl 31) lor i
+  | Dfg.Reg_in (r, file) ->
+    let f = match file with Dfg.X -> 0 | Dfg.F -> 1 in
+    (f lsl 30) lor (r land 0xFF)
+
+let src_of_word u =
+  if u land (1 lsl 31) <> 0 then Dfg.Node (u land 0xFFFFFF)
+  else
+    let file = if u land (1 lsl 30) <> 0 then Dfg.F else Dfg.X in
+    Dfg.Reg_in (u land 0xFF, file)
+
+let loc_word = function
+  | Placement.Ls e -> (1 lsl 31) lor (e land 0xFFFF)
+  | Placement.Pe c -> (c.Grid.row lsl 8) lor (c.Grid.col land 0xFF)
+
+let loc_of_word u =
+  if u land (1 lsl 31) <> 0 then Placement.Ls (u land 0xFFFF)
+  else Placement.Pe (Grid.coord ((u lsr 8) land 0x3FFFFF) (u land 0xFF))
+
+(* ------------------------------------------------------------------ *)
+
+let encode (dfg : Dfg.t) (config : Accel_config.t) =
+  let n = Dfg.node_count dfg in
+  let pl = config.Accel_config.placement in
+  if Array.length pl.Placement.assign <> n then
+    invalid_arg "Bitstream.encode: placement size mismatch";
+  let words = ref [] in
+  let emit u = words := to_word u :: !words in
+  let emit32 w = words := w :: !words in
+  emit32 magic;
+  emit
+    ((version lsl 24)
+    lor ((config.Accel_config.tiling land 0xFFFF) lsl 8)
+    lor (if config.Accel_config.pipelined then 1 else 0));
+  emit n;
+  emit dfg.Dfg.entry_addr;
+  emit dfg.Dfg.exit_addr;
+  emit dfg.Dfg.back_branch;
+  (* Grid geometry so the decoder can rebuild the placement context. *)
+  let g = pl.Placement.grid in
+  emit
+    ((g.Grid.rows lsl 20) lor (g.Grid.cols lsl 12) lor (g.Grid.mem_ports lsl 4)
+    lor
+    match pl.Placement.kind with
+    | Interconnect.Mesh_noc -> 0
+    | Interconnect.Hierarchical_rows -> 1
+    | Interconnect.Pure_mesh -> 2);
+  Array.iteri
+    (fun i nd ->
+      emit32 (Encode.to_word nd.Dfg.instr);
+      emit nd.Dfg.addr;
+      emit (loc_word pl.Placement.assign.(i));
+      emit
+        ((Array.length nd.Dfg.srcs lsl 24)
+        lor (List.length nd.Dfg.guards lsl 16)
+        lor ((if nd.Dfg.hidden <> None then 1 else 0) lsl 1)
+        lor if nd.Dfg.prev_store <> None then 1 else 0);
+      Array.iter (fun s -> emit (src_word s)) nd.Dfg.srcs;
+      Option.iter (fun h -> emit (src_word h)) nd.Dfg.hidden;
+      Option.iter (fun s -> emit s) nd.Dfg.prev_store;
+      List.iter
+        (fun (b, dis) -> emit ((b lsl 1) lor if dis then 1 else 0))
+        nd.Dfg.guards)
+    dfg.Dfg.nodes;
+  let emit_reg_list rs =
+    emit (List.length rs);
+    List.iter emit rs
+  in
+  let emit_out_list os =
+    emit (List.length os);
+    List.iter
+      (fun (r, s) ->
+        emit r;
+        emit (src_word s))
+      os
+  in
+  emit_reg_list dfg.Dfg.live_in_x;
+  emit_reg_list dfg.Dfg.live_in_f;
+  emit_out_list dfg.Dfg.live_out_x;
+  emit_out_list dfg.Dfg.live_out_f;
+  emit (List.length config.Accel_config.forwarding);
+  List.iter
+    (fun (load, store) -> emit ((load lsl 16) lor (store land 0xFFFF)))
+    config.Accel_config.forwarding;
+  emit (List.length config.Accel_config.vector_groups);
+  List.iter
+    (fun group ->
+      emit (List.length group);
+      List.iter emit group)
+    config.Accel_config.vector_groups;
+  emit_reg_list config.Accel_config.prefetched;
+  (* Integrity trailer: xor of everything so far. *)
+  let body = List.rev !words in
+  let csum = List.fold_left (fun acc w -> Int32.logxor acc w) 0l body in
+  Array.of_list (body @ [ csum ])
+
+(* ------------------------------------------------------------------ *)
+
+exception Parse of string
+
+let decode (image : int32 array) =
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length image then raise (Parse "truncated image");
+    let w = image.(!pos) in
+    incr pos;
+    w
+  in
+  let nexti () = of_word (next ()) in
+  try
+    if Array.length image < 8 then raise (Parse "image too short");
+    let csum =
+      Array.sub image 0 (Array.length image - 1)
+      |> Array.fold_left Int32.logxor 0l
+    in
+    if csum <> image.(Array.length image - 1) then raise (Parse "checksum mismatch");
+    if next () <> magic then raise (Parse "bad magic");
+    let h = nexti () in
+    if h lsr 24 <> version then raise (Parse "unsupported version");
+    let tiling = (h lsr 8) land 0xFFFF in
+    let pipelined = h land 1 = 1 in
+    let n = nexti () in
+    if n <= 0 || n > 1 lsl 20 then raise (Parse "implausible node count");
+    let entry_addr = nexti () in
+    let exit_addr = nexti () in
+    let back_branch = nexti () in
+    let geom = nexti () in
+    let rows = geom lsr 20
+    and cols = (geom lsr 12) land 0xFF
+    and mem_ports = (geom lsr 4) land 0xFF in
+    let kind =
+      match geom land 0xF with
+      | 0 -> Interconnect.Mesh_noc
+      | 1 -> Interconnect.Hierarchical_rows
+      | 2 -> Interconnect.Pure_mesh
+      | k -> raise (Parse (Printf.sprintf "unknown interconnect kind %d" k))
+    in
+    let grid = Grid.make ~rows ~cols ~mem_ports () in
+    let assign = Array.make n (Placement.Ls 0) in
+    let nodes =
+      Array.init n (fun i ->
+          let instr =
+            match Decode.of_word (next ()) with
+            | Ok instr -> instr
+            | Error e -> raise (Parse ("node instruction: " ^ e))
+          in
+          let addr = nexti () in
+          assign.(i) <- loc_of_word (nexti ());
+          let meta = nexti () in
+          let n_srcs = meta lsr 24
+          and n_guards = (meta lsr 16) land 0xFF
+          and has_hidden = meta land 2 <> 0
+          and has_prev = meta land 1 <> 0 in
+          let srcs = Array.init n_srcs (fun _ -> src_of_word (nexti ())) in
+          let hidden = if has_hidden then Some (src_of_word (nexti ())) else None in
+          let prev_store = if has_prev then Some (nexti ()) else None in
+          let guards =
+            List.init n_guards (fun _ ->
+                let g = nexti () in
+                (g lsr 1, g land 1 = 1))
+          in
+          { Dfg.instr; addr; srcs; guards; hidden; prev_store })
+    in
+    let reg_list () = List.init (nexti ()) (fun _ -> nexti ()) in
+    let out_list () =
+      List.init (nexti ()) (fun _ ->
+          let r = nexti () in
+          let s = src_of_word (nexti ()) in
+          (r, s))
+    in
+    let live_in_x = reg_list () in
+    let live_in_f = reg_list () in
+    let live_out_x = out_list () in
+    let live_out_f = out_list () in
+    let forwarding =
+      List.init (nexti ()) (fun _ ->
+          let w = nexti () in
+          (w lsr 16, w land 0xFFFF))
+    in
+    let vector_groups = List.init (nexti ()) (fun _ -> reg_list ()) in
+    let prefetched = reg_list () in
+    let dfg =
+      {
+        Dfg.nodes;
+        live_in_x;
+        live_in_f;
+        live_out_x;
+        live_out_f;
+        back_branch;
+        entry_addr;
+        exit_addr;
+      }
+    in
+    (match Dfg.validate dfg with
+    | Ok () -> ()
+    | Error e -> raise (Parse ("decoded graph invalid: " ^ e)));
+    let placement = Placement.make grid kind assign in
+    (match Placement.validate dfg placement with
+    | Ok () -> ()
+    | Error e -> raise (Parse ("decoded placement invalid: " ^ e)));
+    let config =
+      {
+        Accel_config.placement;
+        forwarding;
+        vector_groups;
+        prefetched;
+        tiling;
+        pipelined;
+      }
+    in
+    Ok (dfg, config)
+  with
+  | Parse msg -> Error msg
+  | Encode.Unencodable msg -> Error msg
+
+let size_bits dfg config = 32 * Array.length (encode dfg config)

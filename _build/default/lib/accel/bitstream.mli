@@ -1,0 +1,32 @@
+(** The configuration bitstream: a self-contained binary image of a
+    configured loop, exactly what MESA's ConfigBlock streams to the fabric
+    in task T3.
+
+    The image carries everything the accelerator needs to run with no
+    further help from MESA: each node's original RISC-V instruction word
+    (PEs decode locally), its physical location, its input routes (source
+    selects), predication guards, hidden-value and store-ordering links,
+    the live-in/live-out register maps for architectural state transfer,
+    the loop's entry/exit addresses, and the optimization controls
+    (forwarding pairs, vector groups, prefetch flags, tiling, pipelining).
+
+    [decode (encode dfg config)] reconstructs both structures exactly — a
+    property the test suite checks for every kernel and for random loops —
+    so a fabric driven only by the bitstream is provably configured
+    identically to one driven by MESA's in-memory model. *)
+
+val magic : int32
+(** First word of every image. *)
+
+val encode : Dfg.t -> Accel_config.t -> int32 array
+(** Serialize. Raises [Invalid_argument] on structurally broken inputs
+    (e.g. a placement array of the wrong length). *)
+
+val decode : int32 array -> (Dfg.t * Accel_config.t, string) result
+(** Parse an image back. Fails with a human-readable reason on truncated,
+    corrupted or wrong-magic images. *)
+
+val size_bits : Dfg.t -> Accel_config.t -> int
+(** Exact size of the encoded image in bits. The analytic sizing model in
+    {!Accel_config.bitstream_bits} approximates this; the tests keep the
+    two within a small factor. *)

@@ -1,0 +1,29 @@
+type t = {
+  capacity : int;
+  slots : (int, int) Hashtbl.t; (* cycle -> operations started that cycle *)
+  mutable claimed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Contention.create: capacity must be positive";
+  { capacity; slots = Hashtbl.create 1024; claimed = 0 }
+
+let claim t ready =
+  let rec find c =
+    let used = Option.value (Hashtbl.find_opt t.slots c) ~default:0 in
+    if used < t.capacity then begin
+      Hashtbl.replace t.slots c (used + 1);
+      c
+    end
+    else find (c + 1)
+  in
+  let start = int_of_float (Float.ceil ready) in
+  let cycle = find (max 0 start) in
+  t.claimed <- t.claimed + 1;
+  Float.max ready (float_of_int cycle)
+
+let claimed t = t.claimed
+
+let reset t =
+  Hashtbl.reset t.slots;
+  t.claimed <- 0

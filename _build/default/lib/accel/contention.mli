@@ -1,0 +1,23 @@
+(** Slot-based contention model for shared, pipelined resources (cache
+    ports, NoC router slices).
+
+    A resource accepts [capacity] new operations per cycle. Claims arrive in
+    arbitrary time order (the engine walks iterations whose absolute start
+    times interleave), so the model keeps per-cycle occupancy counts rather
+    than a single next-free clock: a claim takes the first cycle at or after
+    its ready time with spare capacity, and a late claim never blocks an
+    earlier idle slot. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] operations may start per cycle; must be positive. *)
+
+val claim : t -> float -> float
+(** [claim t ready] books a slot and returns the issue time (>= [ready]).
+    The queuing delay is [claim t ready -. ready]. *)
+
+val claimed : t -> int
+(** Total operations booked. *)
+
+val reset : t -> unit

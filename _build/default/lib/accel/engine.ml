@@ -1,0 +1,330 @@
+type result = {
+  cycles : int;
+  iterations : int;
+  completed : bool;
+  exit_pc : int;
+  activity : Activity.t;
+  node_latency : float array;
+  edge_samples : ((int * int) * float) list;
+  amat : float array;
+}
+
+let u32 = Machine.to_u32
+let s32 = Machine.to_s32
+
+exception Exec_fail of string
+
+let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t) ~(dfg : Dfg.t)
+    ~(machine : Machine.t) ~(hier : Hierarchy.t) () =
+  match Placement.validate dfg config.placement with
+  | Error e -> Error ("invalid placement: " ^ e)
+  | Ok () -> (
+    let n = Dfg.node_count dfg in
+    let pl = config.placement in
+    let grid = pl.Placement.grid in
+    let nodes = dfg.Dfg.nodes in
+    let mem = machine.Machine.mem in
+    (* Optimization lookup tables. *)
+    let forwarded = Array.make n false in
+    List.iter (fun (load, _) -> forwarded.(load) <- true) config.forwarding;
+    let vector_member = Array.make n false in
+    List.iter
+      (function
+        | [] -> ()
+        | _leader :: members -> List.iter (fun m -> vector_member.(m) <- true) members)
+      config.vector_groups;
+    let prefetched = Array.make n false in
+    List.iter (fun l -> prefetched.(l) <- true) config.prefetched;
+    (* Values: one slot per node, in the file its destination lives in. *)
+    let vx = Array.make n 0 in
+    let vf = Array.make n 0.0 in
+    let in_x = Array.init Reg.count (Machine.get_x machine) in
+    let in_f = Array.init Reg.count (Machine.get_f machine) in
+    (* Timing state. *)
+    let completes = Array.make n 0.0 in
+    let ports = Contention.create ~capacity:grid.Grid.mem_ports in
+    (* Tiled instances occupy disjoint physical regions, so each gets its
+       own router slices; keys are (instance, slice). *)
+    let noc : (int * int, Contention.t) Hashtbl.t = Hashtbl.create 16 in
+    let noc_slot slice =
+      match Hashtbl.find_opt noc slice with
+      | Some c -> c
+      | None ->
+        let c = Contention.create ~capacity:1 in
+        Hashtbl.add noc slice c;
+        c
+    in
+    let tiling = max 1 config.tiling in
+    let inst_next = Array.make tiling 0.0 in
+    (* Measurements. *)
+    let node_lat = Array.init n (fun _ -> Stats.Running.create ()) in
+    let amat = Array.init n (fun _ -> Stats.Running.create ()) in
+    let edge_lat : (int * int, Stats.Running.t) Hashtbl.t = Hashtbl.create 64 in
+    let act = Activity.create () in
+    let val_i = function
+      | Dfg.Node i -> vx.(i)
+      | Dfg.Reg_in (r, Dfg.X) -> in_x.(r)
+      | Dfg.Reg_in (r, Dfg.F) ->
+        raise (Exec_fail (Printf.sprintf "int read of FP live-in f%d" r))
+    in
+    let val_f = function
+      | Dfg.Node i -> vf.(i)
+      | Dfg.Reg_in (r, Dfg.F) -> in_f.(r)
+      | Dfg.Reg_in (r, Dfg.X) ->
+        raise (Exec_fail (Printf.sprintf "FP read of int live-in %s" (Reg.name r)))
+    in
+    let record_edge i j lat =
+      let r =
+        match Hashtbl.find_opt edge_lat (i, j) with
+        | Some r -> r
+        | None ->
+          let r = Stats.Running.create () in
+          Hashtbl.add edge_lat (i, j) r;
+          r
+      in
+      Stats.Running.add r lat
+    in
+    (* One data/control transfer from node [i] to node [j], with NoC
+       contention applied at the producer's router slice. *)
+    let transfer_in inst iter_start i j =
+      let base = float_of_int (Placement.transfer pl i j) in
+      match Placement.route pl i j with
+      | Interconnect.Local ->
+        act.Activity.local_transfers <- act.Activity.local_transfers + 1;
+        record_edge i j base;
+        base
+      | Interconnect.Noc ->
+        let slice = Interconnect.noc_slice grid (Placement.coord_of pl i) in
+        let abs_out = iter_start +. completes.(i) in
+        let inject = Contention.claim (noc_slot (inst, slice)) abs_out in
+        act.Activity.noc_transfers <- act.Activity.noc_transfers + 1;
+        let lat = base +. (inject -. abs_out) in
+        record_edge i j lat;
+        lat
+    in
+    (* Claim a memory port: returns queuing delay given absolute readiness. *)
+    let claim_port abs_ready = Contention.claim ports abs_ready -. abs_ready in
+    let accel_lat cls = float_of_int (Latency.accel cls) in
+    let run () =
+      let iterations = ref 0 in
+      let end_time = ref 0.0 in
+      let exit_reached = ref false in
+      let paused = ref false in
+      (* Stores observed so far in the current iteration, newest first. *)
+      let iter_stores = ref [] in
+      while not !exit_reached do
+        let inst = !iterations mod tiling in
+        let iter_start = inst_next.(inst) in
+        iter_stores := [];
+        (* Iterative (non-pipelined) units bound reuse of their PE; all other
+           PEs are internally pipelined. *)
+        let fu_bound = ref 1.0 in
+        let mem_accesses = ref 0 in
+        for j = 0 to n - 1 do
+          let nd = nodes.(j) in
+          let cls = Isa.op_class nd.Dfg.instr in
+          (* Guard evaluation: a branch node's value is 1 when taken. *)
+          let disabled =
+            List.exists (fun (b, dis) -> (vx.(b) <> 0) = dis) nd.Dfg.guards
+          in
+          (* Arrival of inputs (Equation 2, with contention). *)
+          let arrival = ref 0.0 in
+          let dep i =
+            arrival := Float.max !arrival (completes.(i) +. transfer_in inst iter_start i j)
+          in
+          Array.iter (function Dfg.Node i -> dep i | Dfg.Reg_in _ -> ()) nd.Dfg.srcs;
+          (match nd.Dfg.hidden with
+          | Some (Dfg.Node i) -> dep i
+          | Some (Dfg.Reg_in _) | None -> ());
+          List.iter (fun (b, _) -> dep b) nd.Dfg.guards;
+          if Isa.is_store nd.Dfg.instr then Option.iter dep nd.Dfg.prev_store;
+          (* Functional execution + operation latency. *)
+          let oplat = ref 1.0 in
+          if disabled then begin
+            act.Activity.disabled_ops <- act.Activity.disabled_ops + 1;
+            (match (Isa.writes_int nd.Dfg.instr, nd.Dfg.hidden) with
+            | Some _, Some h -> vx.(j) <- val_i h
+            | Some _, None -> vx.(j) <- 0
+            | None, _ -> ());
+            (match (Isa.writes_fp nd.Dfg.instr, nd.Dfg.hidden) with
+            | Some _, Some h -> vf.(j) <- val_f h
+            | Some _, None -> vf.(j) <- 0.0
+            | None, _ -> ());
+            if Isa.op_class nd.Dfg.instr = Isa.C_branch then vx.(j) <- 0
+          end
+          else begin
+            let mem_access ~load ~addr =
+              incr mem_accesses;
+              act.Activity.mem_ops <- act.Activity.mem_ops + 1;
+              (* Dynamic disambiguation: an aliasing earlier store forwards
+                 through the LSU broadcast; wait for it. *)
+              (match
+                 List.find_opt (fun (_, a) -> a lsr 2 = addr lsr 2) !iter_stores
+               with
+              | Some (s, _) when load -> dep s
+              | Some _ | None -> ());
+              if load && forwarded.(j) then begin
+                act.Activity.forwarded_loads <- act.Activity.forwarded_loads + 1;
+                oplat := 2.0
+              end
+              else if load && vector_member.(j) then oplat := 1.0
+              else begin
+                let queue = claim_port (iter_start +. !arrival) in
+                let cache =
+                  if load then Hierarchy.load_latency hier addr
+                  else Hierarchy.store_latency hier addr
+                in
+                let lat =
+                  if load && prefetched.(j) then
+                    (* Issued an iteration ahead: only the hit path shows. *)
+                    queue +. float_of_int (Hierarchy.min_latency hier)
+                  else queue +. float_of_int cache
+                in
+                Stats.Running.add amat.(j) lat;
+                oplat := lat
+              end
+            in
+            match nd.Dfg.instr with
+            | Isa.Rtype (op, _, _, _) ->
+              act.Activity.int_ops <- act.Activity.int_ops + 1;
+              vx.(j) <- Interp.Alu.rtype op (val_i nd.Dfg.srcs.(0)) (val_i nd.Dfg.srcs.(1));
+              oplat := accel_lat cls
+            | Isa.Itype (op, _, _, imm) ->
+              act.Activity.int_ops <- act.Activity.int_ops + 1;
+              vx.(j) <- Interp.Alu.itype op (val_i nd.Dfg.srcs.(0)) imm;
+              oplat := accel_lat cls
+            | Isa.Lui (_, imm) ->
+              act.Activity.int_ops <- act.Activity.int_ops + 1;
+              vx.(j) <- s32 imm;
+              oplat := accel_lat Isa.C_alu
+            | Isa.Auipc (_, imm) ->
+              act.Activity.int_ops <- act.Activity.int_ops + 1;
+              vx.(j) <- s32 (nd.Dfg.addr + imm);
+              oplat := accel_lat Isa.C_alu
+            | Isa.Load (op, _, _, off) ->
+              let addr = u32 (val_i nd.Dfg.srcs.(0) + off) in
+              vx.(j) <-
+                (match op with
+                | LB -> Main_memory.load_byte mem addr
+                | LBU -> Main_memory.load_byte_u mem addr
+                | LH -> Main_memory.load_half mem addr
+                | LHU -> Main_memory.load_half_u mem addr
+                | LW -> Main_memory.load_word mem addr);
+              mem_access ~load:true ~addr
+            | Isa.Flw (_, _, off) ->
+              let addr = u32 (val_i nd.Dfg.srcs.(0) + off) in
+              vf.(j) <- Main_memory.load_float32 mem addr;
+              mem_access ~load:true ~addr
+            | Isa.Store (op, _, _, off) ->
+              let addr = u32 (val_i nd.Dfg.srcs.(1) + off) in
+              let v = val_i nd.Dfg.srcs.(0) in
+              (match op with
+              | SB -> Main_memory.store_byte mem addr v
+              | SH -> Main_memory.store_half mem addr v
+              | SW -> Main_memory.store_word mem addr v);
+              iter_stores := (j, addr) :: !iter_stores;
+              mem_access ~load:false ~addr
+            | Isa.Fsw (_, _, off) ->
+              let addr = u32 (val_i nd.Dfg.srcs.(1) + off) in
+              Main_memory.store_float32 mem addr (val_f nd.Dfg.srcs.(0));
+              iter_stores := (j, addr) :: !iter_stores;
+              mem_access ~load:false ~addr
+            | Isa.Branch (op, _, _, _) ->
+              act.Activity.branch_ops <- act.Activity.branch_ops + 1;
+              let taken =
+                Interp.Alu.branch_taken op (val_i nd.Dfg.srcs.(0)) (val_i nd.Dfg.srcs.(1))
+              in
+              vx.(j) <- (if taken then 1 else 0);
+              oplat := accel_lat Isa.C_branch
+            | Isa.Ftype (op, _, _, _) ->
+              act.Activity.fp_ops <- act.Activity.fp_ops + 1;
+              let a = val_f nd.Dfg.srcs.(0) in
+              let b = if Array.length nd.Dfg.srcs > 1 then val_f nd.Dfg.srcs.(1) else 0.0 in
+              vf.(j) <- Interp.Alu.ftype op a b;
+              oplat := accel_lat cls
+            | Isa.Fcmp (op, _, _, _) ->
+              act.Activity.fp_ops <- act.Activity.fp_ops + 1;
+              vx.(j) <- Interp.Alu.fcmp op (val_f nd.Dfg.srcs.(0)) (val_f nd.Dfg.srcs.(1));
+              oplat := accel_lat cls
+            | Isa.Fcvt_w_s (_, _) ->
+              act.Activity.fp_ops <- act.Activity.fp_ops + 1;
+              vx.(j) <- Interp.Alu.fcvt_w_s (val_f nd.Dfg.srcs.(0));
+              oplat := accel_lat cls
+            | Isa.Fcvt_s_w (_, _) ->
+              act.Activity.fp_ops <- act.Activity.fp_ops + 1;
+              vf.(j) <- Interp.Alu.fcvt_s_w (val_i nd.Dfg.srcs.(0));
+              oplat := accel_lat cls
+            | Isa.Fmv_x_w (_, _) ->
+              act.Activity.int_ops <- act.Activity.int_ops + 1;
+              vx.(j) <- Interp.Alu.fmv_x_w (val_f nd.Dfg.srcs.(0));
+              oplat := accel_lat cls
+            | Isa.Fmv_w_x (_, _) ->
+              act.Activity.int_ops <- act.Activity.int_ops + 1;
+              vf.(j) <- Interp.Alu.fmv_w_x (val_i nd.Dfg.srcs.(0));
+              oplat := accel_lat cls
+            | Isa.Jal _ | Isa.Jalr _ | Isa.Ecall | Isa.Ebreak | Isa.Fence ->
+              raise
+                (Exec_fail
+                   (Printf.sprintf "node %d (%s) not executable on the fabric" j
+                      (Format.asprintf "%a" Isa.pp nd.Dfg.instr)))
+          end;
+          Stats.Running.add node_lat.(j) !oplat;
+          (match cls with
+          | Isa.C_div | Isa.C_fdiv -> fu_bound := Float.max !fu_bound !oplat
+          | _ -> ());
+          completes.(j) <- !arrival +. !oplat
+        done;
+        let iter_latency = Array.fold_left Float.max 0.0 completes in
+        if Sys.getenv_opt "MESA_ENGINE_DEBUG" <> None && !iterations < 40 then
+          Printf.eprintf "iter=%d inst=%d start=%.1f lat=%.1f fu=%.1f\n" !iterations
+            inst iter_start iter_latency !fu_bound;
+        incr iterations;
+        act.Activity.iterations <- act.Activity.iterations + 1;
+        end_time := Float.max !end_time (iter_start +. iter_latency);
+        let continue_loop = vx.(dfg.Dfg.back_branch) <> 0 in
+        (* Next iteration's live-ins are this iteration's live-outs. *)
+        List.iter (fun (r, src) -> if r <> 0 then in_x.(r) <- val_i src) dfg.Dfg.live_out_x;
+        List.iter (fun (r, src) -> in_f.(r) <- val_f src) dfg.Dfg.live_out_f;
+        (* Initiation of this instance's next iteration. *)
+        (if config.pipelined then begin
+           let ii_rec =
+             List.fold_left
+               (fun acc (_, _, src) ->
+                 match src with Dfg.Node p -> Float.max acc completes.(p) | Dfg.Reg_in _ -> acc)
+               1.0 (Dfg.loop_carried dfg)
+           in
+           let ii_mem =
+             float_of_int (Stats.div_ceil !mem_accesses (max 1 grid.Grid.mem_ports))
+           in
+           let ii = Float.max (Float.max ii_rec ii_mem) !fu_bound in
+           inst_next.(inst) <- iter_start +. ii
+         end
+         else inst_next.(inst) <- iter_start +. iter_latency +. 1.0);
+        if not continue_loop then exit_reached := true
+        else begin
+          (match stop_after with
+          | Some k when !iterations >= k -> paused := true
+          | Some _ | None -> ());
+          if !iterations >= max_iterations then paused := true;
+          if !paused then exit_reached := true
+        end
+      done;
+      (* Architectural writeback: loop live-outs, and either the exit PC or
+         (when pausing mid-loop) the entry PC so execution can resume. *)
+      List.iter (fun (r, src) -> Machine.set_x machine r (val_i src)) dfg.Dfg.live_out_x;
+      List.iter (fun (r, src) -> Machine.set_f machine r (val_f src)) dfg.Dfg.live_out_f;
+      machine.Machine.pc <- (if !paused then dfg.Dfg.entry_addr else dfg.Dfg.exit_addr);
+      act.Activity.cycles <- int_of_float (Float.ceil !end_time);
+      {
+        cycles = act.Activity.cycles;
+        iterations = !iterations;
+        completed = not !paused;
+        exit_pc = machine.Machine.pc;
+        activity = act;
+        node_latency = Array.map Stats.Running.mean node_lat;
+        edge_samples =
+          Hashtbl.fold (fun k r acc -> (k, Stats.Running.mean r) :: acc) edge_lat [];
+        amat = Array.map Stats.Running.mean amat;
+      }
+    in
+    try Ok (run ()) with Exec_fail msg -> Error msg)

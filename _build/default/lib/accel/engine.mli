@@ -1,0 +1,60 @@
+(** The accelerator execution engine: runs a configured DFG to completion,
+    producing both the architectural side effects (values written to memory
+    and registers — bit-identical to the CPU reference) and the cycle-level
+    timing and counter readouts MESA's optimizer feeds on.
+
+    Execution follows the hardware's dataflow semantics (§5.2):
+
+    - each iteration, every node fires when its inputs have arrived
+      (Equation 2 with placement-derived transfer latencies);
+    - forward branches predicate: a node whose guard fired the skip
+      direction is disabled and forwards its hidden (old destination) value;
+    - memory nodes occupy load-store entries and compete for the array's
+      cache ports; per-access latency comes from the shared hierarchy;
+    - NoC transfers injected at the same router slice in the same cycle
+      serialize (the contention the iterative optimizer later measures);
+    - with [pipelined] set, iteration [k+1] initiates II cycles after
+      iteration [k], II bounded by loop-carried dependencies, PE reuse and
+      memory-port throughput;
+    - with [tiling] = T, T instances of the SDFG execute concurrently on
+      disjoint iterations (Figure 6), sharing the memory ports.
+
+    The loop runs until its backward branch falls through, like the
+    hardware: MESA only regains control at loop exit. *)
+
+type result = {
+  cycles : int;                       (** makespan of the accelerated loop *)
+  iterations : int;
+  completed : bool;                   (** false when [stop_after] paused the
+                                          loop before its exit condition *)
+  exit_pc : int;
+  activity : Activity.t;
+  node_latency : float array;        (** measured mean op latency per node *)
+  edge_samples : ((int * int) * float) list;
+      (** measured mean transfer latency per data edge *)
+  amat : float array;                 (** mean access time per memory node;
+                                          0 for non-memory nodes *)
+}
+
+val execute :
+  ?max_iterations:int ->
+  ?stop_after:int ->
+  config:Accel_config.t ->
+  dfg:Dfg.t ->
+  machine:Machine.t ->
+  hier:Hierarchy.t ->
+  unit ->
+  (result, string) Stdlib.result
+(** Run the loop whose live-ins are taken from [machine]'s current register
+    state. On success the machine holds the post-loop architectural state
+    (registers, PC at the loop's exit address) and [machine.mem] holds every
+    store's effect. Fails (leaving partial memory effects) if the placement
+    is invalid for the DFG or [max_iterations] (default 4 million) is
+    exceeded.
+
+    [stop_after] pauses execution after that many iterations if the loop has
+    not exited: live-outs are written back, the PC is left at the loop entry,
+    and the result carries [completed = false] — so the controller can
+    inspect the counters, possibly reconfigure, and re-invoke [execute] to
+    resume (or hand the loop back to the CPU). This models MESA's profiling
+    windows for iterative optimization. *)

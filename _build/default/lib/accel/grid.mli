@@ -1,0 +1,53 @@
+(** Geometry and capabilities of the spatial accelerator's PE array (§5.2).
+
+    The evaluation's three configurations are [m64] (16x4), [m128] (16x8)
+    and [m512] (64x8). Half of the PEs carry single-precision FP logic,
+    arranged as interleaved 2x2 FP slices (Table 1's "FP Slice (2x2)").
+    Load/store entries are a separate bank along the array's left edge
+    (Figure 5), sized at half the PE count. *)
+
+type coord = { row : int; col : int }
+
+val coord : int -> int -> coord
+val manhattan : coord -> coord -> int
+
+type t = {
+  rows : int;
+  cols : int;
+  fp_tile : int;        (** FP slices are [fp_tile x fp_tile] blocks *)
+  ls_entries : int;     (** load-store entry count *)
+  mem_ports : int;      (** cache ports shared by all LS entries *)
+  slice_width : int;    (** PEs per NoC router slice (Figure 9: 4) *)
+  name : string;
+}
+
+val make :
+  ?fp_tile:int -> ?mem_ports:int -> ?slice_width:int -> ?name:string ->
+  rows:int -> cols:int -> unit -> t
+(** Custom geometry; [ls_entries] is set to half the PE count. *)
+
+val m64 : t
+val m128 : t
+val m512 : t
+
+val of_pe_count : int -> t
+(** Geometry for a given PE budget, 8 columns wide when possible (the PE
+    scaling sweep of Figure 15 uses this). *)
+
+val pe_count : t -> int
+val in_bounds : t -> coord -> bool
+
+val has_fp : t -> coord -> bool
+(** Whether the PE at [coord] has FP logic (checkerboard of [fp_tile]^2
+    blocks — exactly half the array). *)
+
+val supports : t -> coord -> Isa.op_class -> bool
+(** The F_op capability test of §3.3: integer classes everywhere, FP
+    classes only on FP PEs; memory, jump and system classes never map to a
+    PE. *)
+
+val ls_row : t -> int -> int
+(** Row at which load-store entry [e] sits (entries wrap along the left
+    edge). *)
+
+val iter_coords : t -> (coord -> unit) -> unit

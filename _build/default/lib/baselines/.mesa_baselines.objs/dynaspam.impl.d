@@ -1,0 +1,1 @@
+lib/baselines/dynaspam.ml: Array Dfg Float Isa Latency List

@@ -1,0 +1,1 @@
+lib/baselines/dynaspam.mli: Dfg

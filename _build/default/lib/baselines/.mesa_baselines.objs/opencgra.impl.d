@@ -1,0 +1,1 @@
+lib/baselines/opencgra.ml: Array Dfg Float Grid Hashtbl Isa List Option Printf Stats

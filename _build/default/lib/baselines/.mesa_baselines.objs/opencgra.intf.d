@@ -1,0 +1,1 @@
+lib/baselines/opencgra.mli: Dfg Grid

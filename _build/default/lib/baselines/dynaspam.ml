@@ -1,0 +1,59 @@
+type result = { qualified : bool; ii : float; cycles : int }
+
+type config = {
+  window : int;
+  alu_throughput : int;
+  fp_throughput : int;
+  mem_ports : int;
+  div_occupancy : int;
+}
+
+let default_config =
+  { window = 64; alu_throughput = 4; fp_throughput = 2; mem_ports = 2; div_occupancy = 16 }
+
+let run ?(config = default_config) (dfg : Dfg.t) ~iterations =
+  let n = Dfg.node_count dfg in
+  if n > config.window then { qualified = false; ii = 0.0; cycles = 0 }
+  else begin
+    (* Class pressure per iteration on the core's execution resources. *)
+    let ints = ref 0 and fps = ref 0 and mems = ref 0 and iter_units = ref 0 in
+    Array.iter
+      (fun nd ->
+        match Isa.op_class nd.Dfg.instr with
+        | Isa.C_alu | Isa.C_mul | Isa.C_branch | Isa.C_jump -> incr ints
+        | Isa.C_div ->
+          incr ints;
+          iter_units := !iter_units + config.div_occupancy
+        | Isa.C_fadd | Isa.C_fmul -> incr fps
+        | Isa.C_fdiv ->
+          incr fps;
+          iter_units := !iter_units + config.div_occupancy
+        | Isa.C_load | Isa.C_store -> incr mems
+        | Isa.C_system -> ())
+      dfg.Dfg.nodes;
+    let ii_res =
+      Float.max
+        (float_of_int !ints /. float_of_int config.alu_throughput)
+        (Float.max
+           (float_of_int !fps /. float_of_int config.fp_throughput)
+           (float_of_int !mems /. float_of_int config.mem_ports))
+    in
+    (* Iterative units serialize on the shared divider pool. *)
+    let ii_div = float_of_int !iter_units /. float_of_int config.fp_throughput in
+    (* Loop-carried recurrences with full bypass (zero-cycle forwarding). *)
+    let compl_ =
+      Dfg.completion_times dfg
+        ~op_latency:(fun j -> float_of_int (Latency.cpu (Isa.op_class dfg.Dfg.nodes.(j).Dfg.instr)))
+        ~transfer:(fun _ _ -> 0.0)
+    in
+    let ii_rec =
+      List.fold_left
+        (fun acc (_, _, src) ->
+          match src with Dfg.Node p -> Float.max acc compl_.(p) | Dfg.Reg_in _ -> acc)
+        1.0 (Dfg.loop_carried dfg)
+    in
+    let ii = Float.max 1.0 (Float.max ii_res (Float.max ii_div ii_rec)) in
+    let fill = Array.fold_left Float.max 0.0 compl_ in
+    let cycles = int_of_float (Float.ceil (fill +. (ii *. float_of_int (max 0 (iterations - 1))))) in
+    { qualified = true; ii; cycles }
+  end

@@ -1,0 +1,1 @@
+lib/core/config_manager.ml: Accel_config Dfg Hashtbl Mapper Perf_model Region

@@ -1,0 +1,1 @@
+lib/core/config_manager.mli: Accel_config Dfg Mapper Perf_model Region

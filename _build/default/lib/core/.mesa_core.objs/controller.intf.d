@@ -1,0 +1,1 @@
+lib/core/controller.mli: Accel_config Activity Grid Hierarchy Interconnect Interp Loop_detector Machine Mapper Ooo_model Program

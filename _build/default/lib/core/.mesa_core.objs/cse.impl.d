@@ -1,0 +1,1 @@
+lib/core/cse.ml: Array Dfg Fun Hashtbl Isa List Option

@@ -1,0 +1,1 @@
+lib/core/imap_fsm.ml: Array Buffer Bytes Dfg List Mapper Printf

@@ -1,0 +1,1 @@
+lib/core/imap_fsm.mli: Dfg Mapper

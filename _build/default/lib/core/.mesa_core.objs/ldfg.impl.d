@@ -1,0 +1,1 @@
+lib/core/ldfg.ml: Array Dfg Format Isa List Option Printf Region Rename_table

@@ -1,0 +1,1 @@
+lib/core/ldfg.mli: Dfg Region

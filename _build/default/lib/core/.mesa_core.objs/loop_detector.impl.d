@@ -1,0 +1,1 @@
+lib/core/loop_detector.ml: Array Hashtbl Interp Isa Printf Program Region

@@ -1,0 +1,1 @@
+lib/core/loop_detector.mli: Interp Program Region

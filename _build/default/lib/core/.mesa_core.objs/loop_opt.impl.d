@@ -1,0 +1,1 @@
+lib/core/loop_opt.ml: Array Dfg Grid Isa Program

@@ -1,0 +1,1 @@
+lib/core/loop_opt.mli: Dfg Grid Program

@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Array Dfg Float Grid Interconnect Isa List Option Perf_model Placement Printf

@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Dfg Grid Interconnect Perf_model Placement

@@ -1,0 +1,1 @@
+lib/core/mapper_anneal.ml: Array Dfg Grid Hashtbl Interconnect Isa List Perf_model Placement Prng

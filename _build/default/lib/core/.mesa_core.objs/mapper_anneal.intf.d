@@ -1,0 +1,1 @@
+lib/core/mapper_anneal.mli: Grid Interconnect Perf_model Placement

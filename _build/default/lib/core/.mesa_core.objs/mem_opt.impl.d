@@ -1,0 +1,1 @@
+lib/core/mem_opt.ml: Array Dfg Hashtbl Isa List Reg

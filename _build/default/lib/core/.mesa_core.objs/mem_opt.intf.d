@@ -1,0 +1,1 @@
+lib/core/mem_opt.mli: Dfg Reg

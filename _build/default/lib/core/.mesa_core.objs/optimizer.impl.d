@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Accel_config Array Dfg Engine List Mapper Perf_model Placement

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Accel_config Engine Grid Interconnect Mapper Perf_model

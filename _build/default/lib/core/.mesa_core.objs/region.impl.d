@@ -1,0 +1,1 @@
+lib/core/region.ml: Array Format Isa Program

@@ -1,0 +1,1 @@
+lib/core/rename_table.ml: Array Dfg Fun List Reg

@@ -1,0 +1,1 @@
+lib/core/rename_table.mli: Dfg Reg

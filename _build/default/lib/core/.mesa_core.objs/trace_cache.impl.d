@@ -1,0 +1,1 @@
+lib/core/trace_cache.ml: Array Fun List

@@ -1,0 +1,43 @@
+(** Task T3: configuration management — translation cost accounting and the
+    configuration cache (§4.3).
+
+    The cache keys on the region's entry address; a loop re-encountered
+    after it was mapped skips the whole translate/map pipeline and pays only
+    a lookup plus the bitstream rewrite. Costs are modeled in cycles of
+    MESA's clock domain and feed both Table 2 (configuration latency) and
+    the energy amortization study (Figure 16). *)
+
+(** Everything MESA retains about a translated region. *)
+type cached = {
+  region : Region.t;
+  dfg : Dfg.t;
+  model : Perf_model.t;
+  mutable config : Accel_config.t;
+  mutable reconfigurations : int;
+  mutable offloads : int;
+  mutable translation_cycles : int;
+  mutable accel_iterations : int;
+  mutable accel_cycles : int;
+}
+
+type t
+
+val create : unit -> t
+
+val find : t -> int -> cached option
+(** Lookup by region entry address. *)
+
+val add : t -> cached -> unit
+val entries : t -> cached list
+
+(** {1 Cost model} *)
+
+val ldfg_build_cycles : Dfg.t -> int
+(** Renaming is pipelined at one instruction per cycle plus setup. *)
+
+val translation_cycles : Mapper.config -> Dfg.t -> Accel_config.t -> int
+(** Full pipeline: LDFG build + instruction mapping FSM + bitstream write.
+    This is the configuration latency reported against Table 2. *)
+
+val cache_hit_cycles : Accel_config.t -> Dfg.t -> int
+(** Re-encounter cost: lookup plus bitstream rewrite. *)

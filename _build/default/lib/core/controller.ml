@@ -1,0 +1,306 @@
+type options = {
+  grid : Grid.t;
+  kind : Interconnect.kind;
+  detector : Loop_detector.config;
+  mapper : Mapper.config;
+  cpu : Ooo_model.config;
+  optimize : bool;
+  iterative : bool;
+  profile_chunk : int;
+  max_reopts : int;
+  offload_overhead : int;
+  max_steps : int;
+  tune : Accel_config.t -> Accel_config.t;
+}
+
+let default_options ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true) () =
+  let capacity = min 512 (Grid.pe_count grid + grid.Grid.ls_entries) in
+  {
+    grid;
+    kind = Interconnect.Mesh_noc;
+    detector = { Loop_detector.default_config with Loop_detector.capacity };
+    mapper = Mapper.default_config;
+    cpu = Ooo_model.default_config;
+    optimize;
+    iterative;
+    profile_chunk = 64;
+    max_reopts = 3;
+    offload_overhead = 80;
+    max_steps = 200_000_000;
+    tune = Fun.id;
+  }
+
+type region_report = {
+  entry : int;
+  size : int;
+  pragma : Program.pragma option;
+  accepted : bool;
+  reject_reason : string option;
+  tiling : int;
+  pipelined : bool;
+  translation_cycles : int;
+  accel_iterations : int;
+  accel_cycles : int;
+  reconfigurations : int;
+  offload_count : int;
+}
+
+type report = {
+  total_cycles : int;
+  cpu_cycles : int;
+  accel_cycles : int;
+  overhead_cycles : int;
+  mesa_busy_cycles : int;
+  offloads : int;
+  halt : Interp.halt;
+  cpu_summary : Ooo_model.summary;
+  activity : Activity.t;
+  regions : region_report list;
+  hier : Hierarchy.t;
+}
+
+let src = Logs.Src.create "mesa.controller" ~doc:"MESA controller"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Translate an accepted region end to end: capture through the trace cache,
+   build the LDFG, map it, and bundle the optimization decisions. *)
+let translate opts prog (region : Region.t) =
+  let tc = Trace_cache.create ~capacity:opts.detector.Loop_detector.capacity in
+  Trace_cache.set_region tc ~entry:region.Region.entry ~last:region.Region.back_branch_addr;
+  Trace_cache.fill_from tc (fun addr ->
+      Option.map Encode.to_word (Program.fetch prog addr));
+  if not (Trace_cache.complete tc) then Error "trace cache capture incomplete"
+  else begin
+    (* Decode the captured words — the LDFG builder sees exactly what the
+       hardware stored, not the convenient [Region] array. *)
+    let words = Trace_cache.words tc in
+    let decoded = Array.map Decode.of_word_exn words in
+    let region = { region with Region.instrs = decoded } in
+    match Ldfg.build region with
+    | Error e -> Error e
+    | Ok dfg -> (
+      (* Deduplicate recomputed pure values before burning PEs on them. *)
+      let dfg = if opts.optimize then fst (Cse.apply dfg) else dfg in
+      let model = Perf_model.create dfg in
+      match Mapper.map ~config:opts.mapper ~grid:opts.grid ~kind:opts.kind model with
+      | Error e -> Error e
+      | Ok placement ->
+        let mo = if opts.optimize then Mem_opt.analyze dfg else Mem_opt.none in
+        let ld =
+          if opts.optimize then
+            Loop_opt.decide ~grid:opts.grid ~dfg ~pragma:region.Region.pragma
+          else Loop_opt.no_opt
+        in
+        let config =
+          opts.tune
+            (Accel_config.with_opts ~forwarding:mo.Mem_opt.forwarding
+               ~vector_groups:mo.Mem_opt.vector_groups ~prefetched:mo.Mem_opt.prefetched
+               ~tiling:ld.Loop_opt.tiling ~pipelined:ld.Loop_opt.pipelined placement)
+        in
+        Ok
+          {
+            Config_manager.region;
+            dfg;
+            model;
+            config;
+            reconfigurations = 0;
+            offloads = 0;
+            translation_cycles = 0;
+            accel_iterations = 0;
+            accel_cycles = 0;
+          })
+  end
+
+let run ?options ?hier prog machine =
+  let opts = match options with Some o -> o | None -> default_options () in
+  let hier =
+    match hier with Some h -> h | None -> Hierarchy.create Hierarchy.default_config
+  in
+  let cpu_model = Ooo_model.create opts.cpu hier in
+  let detector = Loop_detector.create ~config:opts.detector prog in
+  let cache = Config_manager.create () in
+  let activity = Activity.create () in
+  let accel_cycles = ref 0 in
+  let overhead = ref 0 in
+  let mesa_busy = ref 0 in
+  let offloads = ref 0 in
+  let rejected : region_report list ref = ref [] in
+  (* A configuration being written while the CPU keeps running: ready once
+     the CPU clock passes [ready_at]. *)
+  let pending : (Config_manager.cached * int) option ref = ref None in
+  let cpu_cycles_now () = (Ooo_model.summary cpu_model).Ooo_model.cycles in
+
+  let run_offload (c : Config_manager.cached) =
+    Log.debug (fun m -> m "offloading %a" Region.pp c.Config_manager.region);
+    overhead := !overhead + (2 * opts.offload_overhead);
+    incr offloads;
+    c.Config_manager.offloads <- c.Config_manager.offloads + 1;
+    let budget = ref (if opts.iterative then opts.max_reopts else 0) in
+    let running = ref true in
+    while !running do
+      let stop_after = if !budget > 0 then Some opts.profile_chunk else None in
+      match
+        Engine.execute ?stop_after ~config:c.Config_manager.config
+          ~dfg:c.Config_manager.dfg ~machine ~hier ()
+      with
+      | Error e -> failwith ("MESA engine failure: " ^ e)
+      | Ok res ->
+        accel_cycles := !accel_cycles + res.Engine.cycles;
+        Activity.add activity res.Engine.activity;
+        c.Config_manager.accel_iterations <-
+          c.Config_manager.accel_iterations + res.Engine.iterations;
+        c.Config_manager.accel_cycles <- c.Config_manager.accel_cycles + res.Engine.cycles;
+        if res.Engine.completed then running := false
+        else if !budget > 0 then begin
+          decr budget;
+          Optimizer.absorb c.Config_manager.model res;
+          match
+            Optimizer.step ~grid:opts.grid ~kind:opts.kind ~mapper:opts.mapper
+              ~model:c.Config_manager.model ~current:c.Config_manager.config
+          with
+          | Optimizer.Adopt { config = config'; latency; previous } ->
+            let stall = Accel_config.config_cycles config' c.Config_manager.dfg in
+            (* Only pay the reconfiguration if the modeled per-iteration gain
+               can plausibly amortize the stall over a horizon like the one
+               already observed. *)
+            let horizon =
+              float_of_int (max (4 * opts.profile_chunk) c.Config_manager.accel_iterations)
+            in
+            let gain = (previous -. latency) /. float_of_int config'.Accel_config.tiling in
+            if gain *. horizon > float_of_int stall then begin
+              Log.debug (fun m ->
+                  m "reconfiguring %a: modeled latency %.1f -> %.1f" Region.pp
+                    c.Config_manager.region previous latency);
+              c.Config_manager.config <- config';
+              c.Config_manager.reconfigurations <- c.Config_manager.reconfigurations + 1;
+              overhead := !overhead + stall;
+              mesa_busy := !mesa_busy + stall
+            end
+            else budget := 0
+          | Optimizer.Keep _ -> budget := 0
+        end
+    done
+  in
+
+  let halt = ref None in
+  let steps = ref 0 in
+  while !halt = None do
+    if !steps >= opts.max_steps then halt := Some Interp.Step_limit
+    else begin
+      (* Offload / re-arm checks happen at instruction boundaries, i.e. when
+         the PC sits at the loop entry. *)
+      (match !pending with
+      | Some (c, ready_at)
+        when machine.Machine.pc = c.Config_manager.region.Region.entry
+             && cpu_cycles_now () >= ready_at ->
+        pending := None;
+        run_offload c
+      | Some _ -> ()
+      | None -> (
+        match Config_manager.find cache machine.Machine.pc with
+        | Some c ->
+          (* Config-cache hit on re-entering a known loop: rewrite the
+             bitstream while the CPU keeps iterating. *)
+          let cost =
+            Config_manager.cache_hit_cycles c.Config_manager.config c.Config_manager.dfg
+          in
+          mesa_busy := !mesa_busy + cost;
+          pending := Some (c, cpu_cycles_now () + cost)
+        | None -> ()));
+      match Interp.step prog machine with
+      | Error h -> halt := Some h
+      | Ok ev -> (
+        incr steps;
+        Ooo_model.feed cpu_model ev;
+        match Loop_detector.feed detector ev with
+        | Some (Loop_detector.Accepted region) -> (
+          match translate opts prog region with
+          | Ok cached ->
+            let tcycles =
+              Config_manager.translation_cycles opts.mapper cached.Config_manager.dfg
+                cached.Config_manager.config
+            in
+            cached.Config_manager.translation_cycles <- tcycles;
+            mesa_busy := !mesa_busy + tcycles;
+            Config_manager.add cache cached;
+            pending := Some (cached, cpu_cycles_now () + tcycles);
+            Log.debug (fun m ->
+                m "accepted %a, translation %d cycles" Region.pp region tcycles)
+          | Error reason ->
+            Loop_detector.blacklist detector region.Region.entry;
+            Log.debug (fun m -> m "mapping failed for %a: %s" Region.pp region reason);
+            rejected :=
+              {
+                entry = region.Region.entry;
+                size = Region.size region;
+                pragma = region.Region.pragma;
+                accepted = false;
+                reject_reason = Some reason;
+                tiling = 1;
+                pipelined = false;
+                translation_cycles = 0;
+                accel_iterations = 0;
+                accel_cycles = 0;
+                reconfigurations = 0;
+                offload_count = 0;
+              }
+              :: !rejected)
+        | Some (Loop_detector.Rejected { entry; reason }) ->
+          Log.debug (fun m -> m "rejected region 0x%x: %s" entry reason);
+          rejected :=
+            {
+              entry;
+              size = 0;
+              pragma = None;
+              accepted = false;
+              reject_reason = Some reason;
+              tiling = 1;
+              pipelined = false;
+              translation_cycles = 0;
+              accel_iterations = 0;
+              accel_cycles = 0;
+              reconfigurations = 0;
+              offload_count = 0;
+            }
+            :: !rejected
+        | None -> ())
+    end
+  done;
+  let cpu_summary = Ooo_model.summary cpu_model in
+  let accepted_reports =
+    List.map
+      (fun (c : Config_manager.cached) ->
+        {
+          entry = c.Config_manager.region.Region.entry;
+          size = Region.size c.Config_manager.region;
+          pragma = c.Config_manager.region.Region.pragma;
+          accepted = true;
+          reject_reason = None;
+          tiling = c.Config_manager.config.Accel_config.tiling;
+          pipelined = c.Config_manager.config.Accel_config.pipelined;
+          translation_cycles = c.Config_manager.translation_cycles;
+          accel_iterations = c.Config_manager.accel_iterations;
+          accel_cycles = c.Config_manager.accel_cycles;
+          reconfigurations = c.Config_manager.reconfigurations;
+          offload_count = c.Config_manager.offloads;
+        })
+      (Config_manager.entries cache)
+  in
+  {
+    total_cycles = cpu_summary.Ooo_model.cycles + !accel_cycles + !overhead;
+    cpu_cycles = cpu_summary.Ooo_model.cycles;
+    accel_cycles = !accel_cycles;
+    overhead_cycles = !overhead;
+    mesa_busy_cycles = !mesa_busy;
+    offloads = !offloads;
+    halt = Option.get !halt;
+    cpu_summary;
+    activity;
+    regions = accepted_reports @ List.rev !rejected;
+    hier;
+  }
+
+let speedup ~baseline_cycles report =
+  if report.total_cycles = 0 then 0.0
+  else float_of_int baseline_cycles /. float_of_int report.total_cycles

@@ -1,0 +1,76 @@
+(** The MESA controller (Figures 1, 7): transparent acceleration of a
+    program running on one CPU core.
+
+    The controller interprets the program (architectural reference) while
+    feeding two consumers: the OoO timing model, which accounts CPU cycles,
+    and the loop detector. When a region passes C1-C3, MESA translates it
+    (LDFG, mapping, configuration) *while the CPU keeps executing* — the
+    translation latency only delays the offload point, it does not stall
+    the core. At the first iteration boundary after the configuration is
+    ready, control transfers to the fabric; the engine runs the loop to
+    completion (optionally in profiling windows with iterative
+    reconfiguration) and hands back the architectural state, and the CPU
+    resumes at the loop exit.
+
+    Wall-clock accounting:
+    [total = cpu_cycles + accel_cycles + offload transfers + reconfiguration
+    stalls]. Translation overlaps the CPU and is tracked separately as
+    [mesa_busy_cycles] for the energy model. *)
+
+type options = {
+  grid : Grid.t;
+  kind : Interconnect.kind;
+  detector : Loop_detector.config;
+  mapper : Mapper.config;
+  cpu : Ooo_model.config;
+  optimize : bool;         (** memory + loop-level optimizations (tiling,
+                               pipelining, forwarding, ...) *)
+  iterative : bool;        (** runtime reoptimization from counters *)
+  profile_chunk : int;     (** iterations per profiling window *)
+  max_reopts : int;        (** reconfiguration budget per offload *)
+  offload_overhead : int;  (** cycles to transfer architectural state each way *)
+  max_steps : int;         (** interpreter safety budget *)
+  tune : Accel_config.t -> Accel_config.t;
+      (** hook applied to every freshly translated configuration — the
+          ablation studies use it to strip individual optimizations *)
+}
+
+val default_options : ?grid:Grid.t -> ?optimize:bool -> ?iterative:bool -> unit -> options
+(** M-128, mesh+NoC interconnect, optimizations and iterative mode on. *)
+
+(** Per-region outcome, for the evaluation tables. *)
+type region_report = {
+  entry : int;
+  size : int;
+  pragma : Program.pragma option;
+  accepted : bool;
+  reject_reason : string option;
+  tiling : int;
+  pipelined : bool;
+  translation_cycles : int;
+  accel_iterations : int;
+  accel_cycles : int;
+  reconfigurations : int;
+  offload_count : int;
+}
+
+type report = {
+  total_cycles : int;
+  cpu_cycles : int;
+  accel_cycles : int;
+  overhead_cycles : int;   (** offload transfers + reconfiguration stalls *)
+  mesa_busy_cycles : int;  (** translation work (overlapped; energy only) *)
+  offloads : int;
+  halt : Interp.halt;
+  cpu_summary : Ooo_model.summary;
+  activity : Activity.t;   (** accumulated fabric activity *)
+  regions : region_report list;
+  hier : Hierarchy.t;      (** the shared memory hierarchy, for energy *)
+}
+
+val run : ?options:options -> ?hier:Hierarchy.t -> Program.t -> Machine.t -> report
+(** Execute the program to completion under MESA. The machine ends in the
+    same architectural state the plain interpreter would produce — the
+    equivalence the test suite verifies. *)
+
+val speedup : baseline_cycles:int -> report -> float

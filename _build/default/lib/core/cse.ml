@@ -1,0 +1,109 @@
+(* The value key of a pure node: its operation (destination register
+   normalized away — the DFG tracks values, not names) plus its resolved
+   sources. *)
+
+let normalize_dest (instr : Isa.t) =
+  match instr with
+  | Isa.Rtype (op, _, rs1, rs2) -> Isa.Rtype (op, 0, rs1, rs2)
+  | Isa.Itype (op, _, rs1, imm) -> Isa.Itype (op, 0, rs1, imm)
+  | Isa.Lui (_, imm) -> Isa.Lui (0, imm)
+  | Isa.Ftype (op, _, fs1, fs2) -> Isa.Ftype (op, 0, fs1, fs2)
+  | Isa.Fcmp (op, _, fs1, fs2) -> Isa.Fcmp (op, 0, fs1, fs2)
+  | Isa.Fcvt_w_s (_, fs1) -> Isa.Fcvt_w_s (0, fs1)
+  | Isa.Fcvt_s_w (_, rs1) -> Isa.Fcvt_s_w (0, rs1)
+  | Isa.Fmv_x_w (_, fs1) -> Isa.Fmv_x_w (0, fs1)
+  | Isa.Fmv_w_x (_, rs1) -> Isa.Fmv_w_x (0, rs1)
+  | other -> other
+
+(* Register *names* inside the instruction are stale once sources are
+   resolved; only opcode + immediate matter. Scrub source registers too so
+   e.g. add t0,t1,t2 and add t3,s2,s3 with identical resolved sources
+   unify. *)
+let scrub (instr : Isa.t) =
+  match normalize_dest instr with
+  | Isa.Rtype (op, rd, _, _) -> Isa.Rtype (op, rd, 0, 0)
+  | Isa.Itype (op, rd, _, imm) -> Isa.Itype (op, rd, 0, imm)
+  | Isa.Ftype (op, fd, _, _) -> Isa.Ftype (op, fd, 0, 0)
+  | Isa.Fcmp (op, rd, _, _) -> Isa.Fcmp (op, rd, 0, 0)
+  | Isa.Fcvt_w_s (rd, _) -> Isa.Fcvt_w_s (rd, 0)
+  | Isa.Fcvt_s_w (fd, _) -> Isa.Fcvt_s_w (fd, 0)
+  | Isa.Fmv_x_w (rd, _) -> Isa.Fmv_x_w (rd, 0)
+  | Isa.Fmv_w_x (fd, _) -> Isa.Fmv_w_x (fd, 0)
+  | other -> other
+
+let eligible (dfg : Dfg.t) i =
+  let nd = dfg.Dfg.nodes.(i) in
+  nd.Dfg.guards = []
+  && i <> dfg.Dfg.back_branch
+  &&
+  match Isa.op_class nd.Dfg.instr with
+  | Isa.C_alu | Isa.C_mul | Isa.C_div | Isa.C_fadd | Isa.C_fmul | Isa.C_fdiv -> (
+    match nd.Dfg.instr with Isa.Auipc _ -> false | _ -> true)
+  | Isa.C_load | Isa.C_store | Isa.C_branch | Isa.C_jump | Isa.C_system -> false
+
+let apply (dfg : Dfg.t) =
+  let n = Dfg.node_count dfg in
+  (* representative.(j) = value-equivalent earlier node (possibly j). *)
+  let representative = Array.init n Fun.id in
+  let seen : (Isa.t * Dfg.src array, int) Hashtbl.t = Hashtbl.create 32 in
+  let resolve s =
+    match s with Dfg.Node i -> Dfg.Node representative.(i) | Dfg.Reg_in _ -> s
+  in
+  for j = 0 to n - 1 do
+    if eligible dfg j then begin
+      let nd = dfg.Dfg.nodes.(j) in
+      let key = (scrub nd.Dfg.instr, Array.map resolve nd.Dfg.srcs) in
+      match Hashtbl.find_opt seen key with
+      | Some i -> representative.(j) <- i
+      | None -> Hashtbl.add seen key j
+    end
+  done;
+  let eliminated =
+    Array.to_list representative
+    |> List.mapi (fun j r -> j <> r)
+    |> List.filter Fun.id |> List.length
+  in
+  if eliminated = 0 then (dfg, 0)
+  else begin
+    (* Compact: new index for every surviving node. *)
+    let new_index = Array.make n (-1) in
+    let kept = ref 0 in
+    for j = 0 to n - 1 do
+      if representative.(j) = j then begin
+        new_index.(j) <- !kept;
+        incr kept
+      end
+    done;
+    let remap_node j = new_index.(representative.(j)) in
+    let remap_src = function
+      | Dfg.Node i -> Dfg.Node (remap_node i)
+      | Dfg.Reg_in _ as s -> s
+    in
+    let nodes =
+      Array.of_list
+        (List.filter_map
+           (fun j ->
+             if representative.(j) <> j then None
+             else
+               let nd = dfg.Dfg.nodes.(j) in
+               Some
+                 {
+                   nd with
+                   Dfg.srcs = Array.map remap_src nd.Dfg.srcs;
+                   hidden = Option.map remap_src nd.Dfg.hidden;
+                   guards = List.map (fun (b, d) -> (remap_node b, d)) nd.Dfg.guards;
+                   prev_store = Option.map remap_node nd.Dfg.prev_store;
+                 })
+           (List.init n Fun.id))
+    in
+    let reduced =
+      {
+        dfg with
+        Dfg.nodes;
+        live_out_x = List.map (fun (r, s) -> (r, remap_src s)) dfg.Dfg.live_out_x;
+        live_out_f = List.map (fun (r, s) -> (r, remap_src s)) dfg.Dfg.live_out_f;
+        back_branch = remap_node dfg.Dfg.back_branch;
+      }
+    in
+    (reduced, eliminated)
+  end

@@ -1,0 +1,24 @@
+(** Common-subexpression elimination over the LDFG — an extension
+    optimization in the spirit the paper's conclusion invites ("more
+    advanced mapping and optimization strategies with the DFG model ... as
+    inputs").
+
+    Hardware rationale: compiled loop bodies frequently recompute the same
+    address arithmetic (base + offset chains); every duplicate costs a PE.
+    Because the rename table already resolves true value sources, two nodes
+    provably compute the same value when they apply the same operation with
+    the same immediates to the same sources — no dataflow analysis beyond
+    what MESA's front end already did.
+
+    Only pure, unguarded compute nodes are eligible: memory operations,
+    branches, anything under a predication guard (its value depends on the
+    hidden old-value path) and [auipc] (PC-relative) are left alone. The
+    result is a smaller graph with identical architectural behaviour, which
+    the test suite checks by running both through the engine. *)
+
+val apply : Dfg.t -> Dfg.t * int
+(** [apply dfg] returns the reduced graph and the number of nodes
+    eliminated (0 leaves the graph structurally identical). *)
+
+val eligible : Dfg.t -> int -> bool
+(** Whether a node may participate in CSE (exposed for tests). *)

@@ -1,0 +1,67 @@
+type state = Fetch | Generate | Filter | Reduce of int | Writeback
+
+let state_name = function
+  | Fetch -> "fetch"
+  | Generate -> "generate"
+  | Filter -> "filter"
+  | Reduce k -> Printf.sprintf "reduce[%d]" k
+  | Writeback -> "writeback"
+
+type step = { cycle : int; node : int; state : state }
+
+let reduction_depth (cfg : Mapper.config) =
+  let window = cfg.Mapper.window_rows * cfg.Mapper.window_cols in
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  log2 window 0
+
+let stages cfg =
+  [ Fetch; Generate; Filter ]
+  @ List.init (reduction_depth cfg) (fun k -> Reduce k)
+  @ [ Writeback ]
+
+let simulate cfg (dfg : Dfg.t) =
+  let stages = stages cfg in
+  let steps = ref [] in
+  let cycle = ref 0 in
+  for node = 0 to Dfg.node_count dfg - 1 do
+    List.iter
+      (fun state ->
+        steps := { cycle = !cycle; node; state } :: !steps;
+        incr cycle)
+      stages
+  done;
+  List.rev !steps
+
+let cycles cfg dfg =
+  match List.rev (simulate cfg dfg) with [] -> 0 | last :: _ -> last.cycle + 1
+
+let glyph = function
+  | Fetch -> 'F'
+  | Generate -> 'G'
+  | Filter -> 'L'
+  | Reduce _ -> 'R'
+  | Writeback -> 'W'
+
+let timing_diagram ?(max_nodes = 8) cfg dfg =
+  let steps = simulate cfg dfg in
+  let shown = min max_nodes (Dfg.node_count dfg) in
+  let per_node = List.length (stages cfg) in
+  let width = shown * per_node in
+  let rows = Array.init shown (fun _ -> Bytes.make width '.') in
+  List.iter
+    (fun s -> if s.node < shown then Bytes.set rows.(s.node) s.cycle (glyph s.state))
+    steps;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "imap FSM, %d-entry candidate window: F=fetch G=candidates L=filter R=reduce W=writeback\n"
+       (cfg.Mapper.window_rows * cfg.Mapper.window_cols));
+  Array.iteri
+    (fun i row ->
+      Buffer.add_string buf (Printf.sprintf "i%-3d %s\n" i (Bytes.to_string row)))
+    rows;
+  if Dfg.node_count dfg > shown then
+    Buffer.add_string buf
+      (Printf.sprintf "... %d more instructions, %d cycles total\n"
+         (Dfg.node_count dfg - shown) (cycles cfg dfg));
+  Buffer.contents buf

@@ -1,0 +1,75 @@
+let build (region : Region.t) =
+  let n = Region.size region in
+  let rename = Rename_table.create () in
+  let nodes = Array.make n None in
+  (* Open predication scopes: (branch node, first address past the scope). *)
+  let open_guards = ref [] in
+  let last_store = ref None in
+  let file_of = function `Int -> Dfg.X | `Fp -> Dfg.F in
+  let rec go j =
+    if j = n then Ok ()
+    else begin
+      let instr = region.Region.instrs.(j) in
+      let addr = Region.addr_of_index region j in
+      (* Guards whose scope has ended no longer apply. *)
+      open_guards := List.filter (fun (_, target) -> addr < target) !open_guards;
+      match instr with
+      | Isa.Jal _ | Isa.Jalr _ | Isa.Ecall | Isa.Ebreak | Isa.Fence ->
+        Error
+          (Printf.sprintf "C2 violation at 0x%x: %s" addr
+             (Format.asprintf "%a" Isa.pp instr))
+      | _ ->
+        let srcs =
+          Array.of_list
+            (List.map (fun (r, file) -> Rename_table.lookup rename (file_of file) r)
+               (Isa.reads instr))
+        in
+        let guards = List.map (fun (b, _) -> (b, true)) !open_guards in
+        let hidden =
+          if guards = [] then None
+          else
+            match (Isa.writes_int instr, Isa.writes_fp instr) with
+            | Some rd, _ -> Some (Rename_table.lookup rename Dfg.X rd)
+            | None, Some fd -> Some (Rename_table.lookup rename Dfg.F fd)
+            | None, None -> None
+        in
+        let prev_store = if Isa.is_store instr then !last_store else None in
+        nodes.(j) <-
+          Some { Dfg.instr; addr; srcs; guards; hidden; prev_store };
+        (* Program-order updates after the node is formed. *)
+        if Isa.is_store instr then last_store := Some j;
+        (match Isa.writes_int instr with
+        | Some rd -> Rename_table.write rename Dfg.X rd j
+        | None -> ());
+        (match Isa.writes_fp instr with
+        | Some fd -> Rename_table.write rename Dfg.F fd j
+        | None -> ());
+        (match instr with
+        | Isa.Branch (_, _, _, off) when off > 0 && j < n - 1 ->
+          open_guards := (j, addr + off) :: !open_guards
+        | _ -> ());
+        go (j + 1)
+    end
+  in
+  match go 0 with
+  | Error _ as e -> e
+  | Ok () ->
+    let nodes = Array.map Option.get nodes in
+    let dfg =
+      {
+        Dfg.nodes;
+        live_in_x = Rename_table.live_ins rename Dfg.X;
+        live_in_f = Rename_table.live_ins rename Dfg.F;
+        live_out_x = Rename_table.live_outs rename Dfg.X;
+        live_out_f = Rename_table.live_outs rename Dfg.F;
+        back_branch = n - 1;
+        entry_addr = region.Region.entry;
+        exit_addr = Region.exit_addr region;
+      }
+    in
+    (match Dfg.validate dfg with
+    | Ok () -> Ok dfg
+    | Error e -> Error ("LDFG invariant violation: " ^ e))
+
+let build_exn region =
+  match build region with Ok dfg -> dfg | Error e -> failwith e

@@ -1,0 +1,15 @@
+(** Task T1: building the Logical DFG from the code region (§3.2).
+
+    The builder walks the body in program order, renaming every source
+    register through the {!Rename_table}. Forward branches open predication
+    scopes: instructions inside a scope are guarded by the branch and carry a
+    hidden dependency on the previous producer of their destination register
+    (whose value they must forward when disabled). Stores are chained with
+    memory-order links so the fabric commits them in program order. *)
+
+val build : Region.t -> (Dfg.t, string) result
+(** Translate an accepted region into its LDFG. Fails only on regions that
+    should have been rejected by C2 (jumps/system instructions inside the
+    body) — the controller treats that as a C2 violation discovered late. *)
+
+val build_exn : Region.t -> Dfg.t

@@ -1,0 +1,42 @@
+(** Task T2: the data-driven spatial mapping algorithm (Algorithm 1).
+
+    Instructions are visited in LDFG (program) order. For each one, a
+    candidate matrix — a fixed window positioned at the critical (highest
+    expected latency) placed predecessor — is filtered by the free matrix
+    and the operation capability mask, each surviving position is scored
+    with the expected completion latency
+
+      [expLatency = L_op + max(A_s1, A_s2)],
+
+    and the instruction lands on the argmin. Ties prefer positions with
+    more free neighbours (keeping room for future consumers). Memory
+    instructions are assigned to load-store entries by the same cost rule.
+    When the window filters to nothing, the mapper falls back to a global
+    scan, modelling the secondary-interconnect fallback of §3.3.
+
+    The mapper is data-driven: predecessor latencies [L_s] come from the
+    {!Perf_model}, so a remap after measurement naturally steers hot
+    producers and consumers together. As a side effect the mapper installs
+    its analytic transfer estimates into the model for every edge. *)
+
+type config = {
+  window_rows : int;
+  window_cols : int;
+}
+
+val default_config : config
+(** The paper's fixed 4x8 candidate matrix. *)
+
+val map :
+  ?config:config ->
+  grid:Grid.t ->
+  kind:Interconnect.kind ->
+  Perf_model.t ->
+  (Placement.t, string) result
+(** Place the model's graph onto [grid]. Fails when PEs or LS entries run
+    out (a structural hazard; the controller then rejects the region). *)
+
+val map_cycles : config -> Dfg.t -> int
+(** Hardware cost of running the imap FSM (Figure 8): a constant pipeline
+    of stages per instruction plus a reduction tree over the candidate
+    window. *)

@@ -1,0 +1,135 @@
+type stats = {
+  proposals : int;
+  accepted : int;
+  improved : int;
+  initial_latency : float;
+  final_latency : float;
+}
+
+(* Iteration latency of the graph under [assign], using the model's node
+   weights and the interconnect's analytic transfers. *)
+let latency_of (dfg : Dfg.t) model grid kind assign =
+  let coord i =
+    match assign.(i) with
+    | Placement.Pe c -> c
+    | Placement.Ls e -> Interconnect.ls_coord grid e
+  in
+  Dfg.iteration_latency dfg
+    ~op_latency:(Perf_model.op_latency model)
+    ~transfer:(fun i j ->
+      float_of_int (Interconnect.latency grid kind (coord i) (coord j)))
+
+let refine ?(seed = 0x5A5A) ?(proposals = 2000) ?(initial_temperature = 8.0)
+    ?(cooling = 0.995) ~(grid : Grid.t) ~kind ~(model : Perf_model.t)
+    (placement : Placement.t) =
+  let dfg = Perf_model.graph model in
+  let n = Dfg.node_count dfg in
+  let rng = Prng.create seed in
+  let assign = Array.copy placement.Placement.assign in
+  (* Occupancy maps for proposing moves into free space. *)
+  let pe_used = Hashtbl.create 64 in
+  let ls_used = Hashtbl.create 16 in
+  Array.iteri
+    (fun i loc ->
+      match loc with
+      | Placement.Pe c -> Hashtbl.replace pe_used (c.Grid.row, c.Grid.col) i
+      | Placement.Ls e -> Hashtbl.replace ls_used e i)
+    assign;
+  let compatible i loc =
+    let cls = Isa.op_class dfg.Dfg.nodes.(i).Dfg.instr in
+    match loc with
+    | Placement.Pe c ->
+      (not (Isa.is_memory dfg.Dfg.nodes.(i).Dfg.instr)) && Grid.supports grid c cls
+    | Placement.Ls e ->
+      Isa.is_memory dfg.Dfg.nodes.(i).Dfg.instr && e >= 0 && e < grid.Grid.ls_entries
+  in
+  (* A proposal is a list of (node, new location) updates; [None] when the
+     drawn move is not applicable. *)
+  let propose () =
+    let i = Prng.int rng n in
+    if Prng.bool rng then begin
+      (* Relocate to a random free compatible location. *)
+      if Isa.is_memory dfg.Dfg.nodes.(i).Dfg.instr then begin
+        let e = Prng.int rng grid.Grid.ls_entries in
+        if Hashtbl.mem ls_used e then None else Some [ (i, Placement.Ls e) ]
+      end
+      else begin
+        let c = Grid.coord (Prng.int rng grid.Grid.rows) (Prng.int rng grid.Grid.cols) in
+        if Hashtbl.mem pe_used (c.Grid.row, c.Grid.col) || not (compatible i (Placement.Pe c))
+        then None
+        else Some [ (i, Placement.Pe c) ]
+      end
+    end
+    else begin
+      (* Swap with another node if both remain compatible. *)
+      let j = Prng.int rng n in
+      if i = j then None
+      else
+        let li = assign.(i) and lj = assign.(j) in
+        if compatible i lj && compatible j li then Some [ (i, lj); (j, li) ] else None
+    end
+  in
+  let apply updates = List.iter (fun (i, loc) -> assign.(i) <- loc) updates in
+  let book loc i =
+    match loc with
+    | Placement.Pe c -> Hashtbl.replace pe_used (c.Grid.row, c.Grid.col) i
+    | Placement.Ls e -> Hashtbl.replace ls_used e i
+  in
+  let unbook loc =
+    match loc with
+    | Placement.Pe c -> Hashtbl.remove pe_used (c.Grid.row, c.Grid.col)
+    | Placement.Ls e -> Hashtbl.remove ls_used e
+  in
+  let commit_books updates =
+    List.iter (fun (i, _) -> unbook assign.(i)) updates;
+    apply updates;
+    List.iter (fun (i, loc) -> book loc i) updates
+  in
+  let current = ref (latency_of dfg model grid kind assign) in
+  let initial_latency = !current in
+  let best = ref initial_latency in
+  let best_assign = ref (Array.copy assign) in
+  let temperature = ref initial_temperature in
+  let accepted = ref 0 and improved = ref 0 in
+  for _ = 1 to proposals do
+    (match propose () with
+    | None -> ()
+    | Some updates ->
+      let saved = List.map (fun (i, _) -> (i, assign.(i))) updates in
+      (* Trial: apply, evaluate, then decide. *)
+      apply updates;
+      let trial = latency_of dfg model grid kind assign in
+      let delta = trial -. !current in
+      let accept =
+        delta < 0.0
+        || (!temperature > 1e-6 && Prng.float rng 1.0 < exp (-.delta /. !temperature))
+      in
+      if accept then begin
+        incr accepted;
+        if delta < 0.0 then incr improved;
+        (* Fix the occupancy books for the move we kept. *)
+        apply saved;
+        commit_books updates;
+        current := trial;
+        if trial < !best then begin
+          best := trial;
+          best_assign := Array.copy assign
+        end
+      end
+      else apply saved);
+    temperature := !temperature *. cooling
+  done;
+  let final = Placement.make grid kind !best_assign in
+  (* Leave the performance model describing the returned placement. *)
+  List.iter
+    (fun (i, j, _) ->
+      Perf_model.set_transfer_estimate model i j (Placement.transfer_f final i j))
+    (Dfg.edges dfg);
+  ( final,
+    {
+      proposals;
+      accepted = !accepted;
+      improved = !improved;
+      initial_latency;
+      final_latency = !best;
+    } )

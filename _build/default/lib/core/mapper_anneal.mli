@@ -1,0 +1,40 @@
+(** Simulated-annealing placement refinement — the "more advanced mapping
+    strategies with the DFG model and performance data as inputs" the
+    paper's conclusion points to as future work.
+
+    The hardware mapper (Algorithm 1) is greedy and single-pass by
+    necessity. This refiner, which a software agent or a more ambitious
+    controller could run, starts from any valid placement and explores
+    neighbouring ones — relocating a node to a free compatible location or
+    swapping two compatible nodes — accepting strict improvements always
+    and regressions with the usual cooling probability. The objective is
+    the modeled iteration latency under the performance model's (possibly
+    measured) operation weights, so profiling data steers the search just
+    like it steers the greedy mapper's anchors.
+
+    Determinism: the search is driven by the repo's explicit PRNG; equal
+    seeds give equal placements. *)
+
+type stats = {
+  proposals : int;
+  accepted : int;
+  improved : int;        (** strict improvements adopted *)
+  initial_latency : float;
+  final_latency : float; (** latency of the best placement found *)
+}
+
+val refine :
+  ?seed:int ->
+  ?proposals:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  grid:Grid.t ->
+  kind:Interconnect.kind ->
+  model:Perf_model.t ->
+  Placement.t ->
+  Placement.t * stats
+(** [refine ~grid ~kind ~model placement] returns the best placement found
+    (never worse than the input under the model) and search statistics. As
+    with {!Mapper.map}, the model's edge estimates are left describing the
+    returned placement. Defaults: 2000 proposals, T0 = 8 cycles, cooling
+    0.995 per proposal. *)

@@ -1,0 +1,38 @@
+let improvement_threshold = 0.05
+
+let absorb model (res : Engine.result) =
+  Array.iteri
+    (fun i lat -> if lat > 0.0 then Perf_model.observe_op model i lat)
+    res.Engine.node_latency;
+  List.iter (fun ((i, j), lat) -> Perf_model.observe_transfer model i j lat) res.Engine.edge_samples
+
+type outcome =
+  | Keep of float
+  | Adopt of { config : Accel_config.t; latency : float; previous : float }
+
+let restore_estimates model placement =
+  List.iter
+    (fun (i, j, _) ->
+      Perf_model.set_transfer_estimate model i j (Placement.transfer_f placement i j))
+    (Dfg.edges (Perf_model.graph model))
+
+let step ~grid ~kind ~mapper ~model ~(current : Accel_config.t) =
+  (* Compare both placements under the same analytic transfer model (with
+     measured operation latencies): measured transfer samples embed the old
+     placement's contention, which would bias the comparison toward any
+     remap. *)
+  restore_estimates model current.Accel_config.placement;
+  let current_latency = Perf_model.iteration_latency model in
+  match Mapper.map ~config:mapper ~grid ~kind model with
+  | Error _ ->
+    restore_estimates model current.Accel_config.placement;
+    Keep current_latency
+  | Ok placement ->
+    let candidate_latency = Perf_model.iteration_latency model in
+    if candidate_latency < current_latency *. (1.0 -. improvement_threshold) then
+      let config = { current with Accel_config.placement } in
+      Adopt { config; latency = candidate_latency; previous = current_latency }
+    else begin
+      restore_estimates model current.Accel_config.placement;
+      Keep current_latency
+    end

@@ -1,0 +1,37 @@
+(** MESA's trace cache (§4.1): a small buffer near the I-cache holding the
+    raw instruction words of the code region targeted for acceleration, so
+    the LDFG builder can read the body without stealing fetch bandwidth.
+
+    Capacity equals the maximum number of instructions mappable on the
+    accelerator — criterion C1 checks loop size against exactly this
+    number. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+
+val set_region : t -> entry:int -> last:int -> unit
+(** Start capturing the address window [\[entry, last\]] (inclusive),
+    dropping previous contents. Raises [Invalid_argument] if the window
+    exceeds capacity. *)
+
+val observe : t -> addr:int -> word:int32 -> unit
+(** Called for every fetched instruction; words inside the active window
+    are recorded (idempotently). *)
+
+val complete : t -> bool
+(** Whether every slot of the active window has been captured. *)
+
+val missing : t -> int list
+(** Addresses still missing (the case where MESA would stall fetch to read
+    the I-cache directly). *)
+
+val fill_from : t -> (int -> int32 option) -> unit
+(** Fill missing slots through a direct I-cache read function. *)
+
+val words : t -> int32 array
+(** Captured words in address order. Raises [Failure] if incomplete. *)
+
+val fills : t -> int
+(** Total words written, across all regions (for stats). *)

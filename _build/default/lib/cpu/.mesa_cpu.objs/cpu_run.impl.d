@@ -1,0 +1,1 @@
+lib/cpu/cpu_run.ml: Hierarchy Interp Ooo_model

@@ -1,0 +1,1 @@
+lib/cpu/cpu_run.mli: Hierarchy Interp Machine Ooo_model Program

@@ -1,0 +1,1 @@
+lib/cpu/interp.ml: Float Int32 Int64 Isa Machine Main_memory Program

@@ -1,0 +1,1 @@
+lib/cpu/interp.mli: Isa Machine Program

@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Array Int32 List Main_memory Option Reg Sys

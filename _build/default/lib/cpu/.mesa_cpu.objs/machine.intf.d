@@ -1,0 +1,1 @@
+lib/cpu/machine.mli: Main_memory Reg

@@ -1,0 +1,1 @@
+lib/cpu/ooo_model.ml: Array Hierarchy Interp Isa Latency List Option Predictor Reg

@@ -1,0 +1,1 @@
+lib/cpu/ooo_model.mli: Hierarchy Interp Latency

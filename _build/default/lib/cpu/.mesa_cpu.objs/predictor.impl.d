@@ -1,0 +1,1 @@
+lib/cpu/predictor.ml: Array

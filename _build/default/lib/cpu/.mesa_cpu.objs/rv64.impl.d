@@ -1,0 +1,1 @@
+lib/cpu/rv64.ml: Array Decode Encode Format Int32 Int64 Isa Main_memory Printf Reg Result Sys

@@ -1,0 +1,1 @@
+lib/cpu/rv64.mli: Format Isa Main_memory Reg

@@ -1,0 +1,34 @@
+type t = {
+  xregs : int array;
+  fregs : float array;
+  mutable pc : int;
+  mem : Main_memory.t;
+}
+
+let create ?(pc = 0x1000) mem =
+  { xregs = Array.make Reg.count 0; fregs = Array.make Reg.count 0.0; pc; mem }
+
+let to_s32 v = (v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+let to_u32 v = v land 0xFFFFFFFF
+let round32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let get_x t r = if r = 0 then 0 else t.xregs.(r)
+let set_x t r v = if r <> 0 then t.xregs.(r) <- to_s32 v
+let get_f t r = t.fregs.(r)
+let set_f t r v = t.fregs.(r) <- round32 v
+
+let set_args t args = List.iter (fun (r, v) -> set_x t r v) args
+let set_fargs t args = List.iter (fun (r, v) -> set_f t r v) args
+
+let copy t ?mem () =
+  {
+    xregs = Array.copy t.xregs;
+    fregs = Array.copy t.fregs;
+    pc = t.pc;
+    mem = Option.value mem ~default:t.mem;
+  }
+
+let arch_equal a b =
+  a.pc = b.pc
+  && Array.for_all2 ( = ) a.xregs b.xregs
+  && Array.for_all2 ( = ) a.fregs b.fregs

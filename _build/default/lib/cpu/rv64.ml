@@ -1,0 +1,315 @@
+type t =
+  | Rtype of Isa.rop * Reg.t * Reg.t * Reg.t
+  | Itype of Isa.iop * Reg.t * Reg.t * int
+  | Rw of Isa.rop * Reg.t * Reg.t * Reg.t
+  | Iw of Isa.iop * Reg.t * Reg.t * int
+  | Load of Isa.lop * Reg.t * Reg.t * int
+  | Lwu of Reg.t * Reg.t * int
+  | Ld of Reg.t * Reg.t * int
+  | Store of Isa.sop * Reg.t * Reg.t * int
+  | Sd of Reg.t * Reg.t * int
+  | Branch of Isa.bop * Reg.t * Reg.t * int
+  | Lui of Reg.t * int
+  | Auipc of Reg.t * int
+  | Jal of Reg.t * int
+  | Jalr of Reg.t * Reg.t * int
+  | Ecall
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf (i : t) =
+  let r = Reg.name in
+  match i with
+  | Rtype (op, rd, rs1, rs2) ->
+    Format.fprintf ppf "%a" Isa.pp (Isa.Rtype (op, rd, rs1, rs2))
+  | Itype (op, rd, rs1, imm) ->
+    Format.fprintf ppf "%a" Isa.pp (Isa.Itype (op, rd, rs1, imm))
+  | Rw (op, rd, rs1, rs2) ->
+    Format.fprintf ppf "%aw" Isa.pp (Isa.Rtype (op, rd, rs1, rs2))
+  | Iw (op, rd, rs1, imm) ->
+    Format.fprintf ppf "%aw" Isa.pp (Isa.Itype (op, rd, rs1, imm))
+  | Load (op, rd, base, off) ->
+    Format.fprintf ppf "%a" Isa.pp (Isa.Load (op, rd, base, off))
+  | Lwu (rd, base, off) -> Format.fprintf ppf "lwu %s, %d(%s)" (r rd) off (r base)
+  | Ld (rd, base, off) -> Format.fprintf ppf "ld %s, %d(%s)" (r rd) off (r base)
+  | Store (op, src, base, off) ->
+    Format.fprintf ppf "%a" Isa.pp (Isa.Store (op, src, base, off))
+  | Sd (src, base, off) -> Format.fprintf ppf "sd %s, %d(%s)" (r src) off (r base)
+  | Branch (op, rs1, rs2, off) ->
+    Format.fprintf ppf "%a" Isa.pp (Isa.Branch (op, rs1, rs2, off))
+  | Lui (rd, imm) -> Format.fprintf ppf "%a" Isa.pp (Isa.Lui (rd, imm))
+  | Auipc (rd, imm) -> Format.fprintf ppf "%a" Isa.pp (Isa.Auipc (rd, imm))
+  | Jal (rd, off) -> Format.fprintf ppf "%a" Isa.pp (Isa.Jal (rd, off))
+  | Jalr (rd, base, off) -> Format.fprintf ppf "%a" Isa.pp (Isa.Jalr (rd, base, off))
+  | Ecall -> Format.pp_print_string ppf "ecall"
+
+(* ---------------- codec ---------------- *)
+
+let encode (i : t) =
+  match i with
+  | Rtype (op, rd, rs1, rs2) -> begin
+    match op with
+    | Isa.MUL | Isa.MULH | Isa.MULHSU | Isa.MULHU | Isa.DIV | Isa.DIVU | Isa.REM
+    | Isa.REMU ->
+      raise (Encode.Unencodable "RV64I has no M extension here")
+    | _ -> Encode.to_word (Isa.Rtype (op, rd, rs1, rs2))
+  end
+  | Itype (op, rd, rs1, imm) -> begin
+    match op with
+    | Isa.SLLI | Isa.SRLI | Isa.SRAI ->
+      (* 6-bit shamt: reuse the 32-bit encoder then patch bit 25. *)
+      if imm < 0 || imm > 63 then raise (Encode.Unencodable "shamt64 out of range");
+      let base = Encode.to_word (Isa.Itype (op, rd, rs1, imm land 31)) in
+      if imm >= 32 then Int32.logor base (Int32.shift_left 1l 25) else base
+    | _ -> Encode.to_word (Isa.Itype (op, rd, rs1, imm))
+  end
+  | Rw (op, rd, rs1, rs2) ->
+    (* OP-32 shares field layout with OP, at opcode 0x3B. *)
+    let allowed =
+      match op with
+      | Isa.ADD | Isa.SUB | Isa.SLL | Isa.SRL | Isa.SRA -> true
+      | _ -> false
+    in
+    if not allowed then raise (Encode.Unencodable "not an RV64I W-form op");
+    let w = Encode.to_word (Isa.Rtype (op, rd, rs1, rs2)) in
+    Int32.logor (Int32.logand w (Int32.lognot 0x7Fl)) 0x3Bl
+  | Iw (op, rd, rs1, imm) ->
+    let allowed =
+      match op with Isa.ADDI | Isa.SLLI | Isa.SRLI | Isa.SRAI -> true | _ -> false
+    in
+    if not allowed then raise (Encode.Unencodable "not an RV64I W-form op-imm");
+    let w = Encode.to_word (Isa.Itype (op, rd, rs1, imm)) in
+    Int32.logor (Int32.logand w (Int32.lognot 0x7Fl)) 0x1Bl
+  | Load (op, rd, base, off) -> Encode.to_word (Isa.Load (op, rd, base, off))
+  | Lwu (rd, base, off) ->
+    (* LOAD funct3 = 6. *)
+    let w = Encode.to_word (Isa.Load (Isa.LW, rd, base, off)) in
+    Int32.logor (Int32.logand w (Int32.lognot 0x7000l)) 0x6000l
+  | Ld (rd, base, off) ->
+    let w = Encode.to_word (Isa.Load (Isa.LW, rd, base, off)) in
+    Int32.logor (Int32.logand w (Int32.lognot 0x7000l)) 0x3000l
+  | Store (op, src, base, off) -> Encode.to_word (Isa.Store (op, src, base, off))
+  | Sd (src, base, off) ->
+    let w = Encode.to_word (Isa.Store (Isa.SW, src, base, off)) in
+    Int32.logor (Int32.logand w (Int32.lognot 0x7000l)) 0x3000l
+  | Branch (op, rs1, rs2, off) -> Encode.to_word (Isa.Branch (op, rs1, rs2, off))
+  | Lui (rd, imm) -> Encode.to_word (Isa.Lui (rd, imm))
+  | Auipc (rd, imm) -> Encode.to_word (Isa.Auipc (rd, imm))
+  | Jal (rd, off) -> Encode.to_word (Isa.Jal (rd, off))
+  | Jalr (rd, base, off) -> Encode.to_word (Isa.Jalr (rd, base, off))
+  | Ecall -> Encode.to_word Isa.Ecall
+
+let decode w =
+  let u = Int32.to_int w land 0xFFFFFFFF in
+  let opcode = u land 0x7F in
+  let rd = (u lsr 7) land 0x1F in
+  let funct3 = (u lsr 12) land 0x7 in
+  let rs1 = (u lsr 15) land 0x1F in
+  let rs2 = (u lsr 20) land 0x1F in
+  let funct7 = (u lsr 25) land 0x7F in
+  let shamt6 = (u lsr 20) land 0x3F in
+  let sign_extend ~bits v = (v lsl (Sys.int_size - bits)) asr (Sys.int_size - bits) in
+  let imm_i = sign_extend ~bits:12 ((u lsr 20) land 0xFFF) in
+  let imm_s = sign_extend ~bits:12 ((funct7 lsl 5) lor rd) in
+  match opcode with
+  | 0x3B -> begin
+    match (funct7, funct3) with
+    | 0x00, 0 -> Ok (Rw (Isa.ADD, rd, rs1, rs2))
+    | 0x20, 0 -> Ok (Rw (Isa.SUB, rd, rs1, rs2))
+    | 0x00, 1 -> Ok (Rw (Isa.SLL, rd, rs1, rs2))
+    | 0x00, 5 -> Ok (Rw (Isa.SRL, rd, rs1, rs2))
+    | 0x20, 5 -> Ok (Rw (Isa.SRA, rd, rs1, rs2))
+    | _ -> Error "unsupported OP-32 encoding"
+  end
+  | 0x1B -> begin
+    match funct3 with
+    | 0 -> Ok (Iw (Isa.ADDI, rd, rs1, imm_i))
+    | 1 when funct7 = 0 -> Ok (Iw (Isa.SLLI, rd, rs1, rs2))
+    | 5 when funct7 = 0x00 -> Ok (Iw (Isa.SRLI, rd, rs1, rs2))
+    | 5 when funct7 = 0x20 -> Ok (Iw (Isa.SRAI, rd, rs1, rs2))
+    | _ -> Error "unsupported OP-IMM-32 encoding"
+  end
+  | 0x03 when funct3 = 3 -> Ok (Ld (rd, rs1, imm_i))
+  | 0x03 when funct3 = 6 -> Ok (Lwu (rd, rs1, imm_i))
+  | 0x23 when funct3 = 3 -> Ok (Sd (rs2, rs1, imm_s))
+  | 0x13 when funct3 = 1 || funct3 = 5 -> begin
+    (* 64-bit shift immediates: funct6 discriminates. *)
+    let funct6 = funct7 lsr 1 in
+    match (funct3, funct6) with
+    | 1, 0x00 -> Ok (Itype (Isa.SLLI, rd, rs1, shamt6))
+    | 5, 0x00 -> Ok (Itype (Isa.SRLI, rd, rs1, shamt6))
+    | 5, 0x10 -> Ok (Itype (Isa.SRAI, rd, rs1, shamt6))
+    | _ -> Error "unsupported RV64 shift encoding"
+  end
+  | _ -> begin
+    (* Everything else shares the RV32 decoding. *)
+    match Decode.of_word w with
+    | Error e -> Error e
+    | Ok (Isa.Rtype ((Isa.MUL | Isa.MULH | Isa.MULHSU | Isa.MULHU | Isa.DIV
+                     | Isa.DIVU | Isa.REM | Isa.REMU), _, _, _)) ->
+      Error "M extension not part of RV64I"
+    | Ok (Isa.Rtype (op, a, b, c)) -> Ok (Rtype (op, a, b, c))
+    | Ok (Isa.Itype (op, a, b, c)) -> Ok (Itype (op, a, b, c))
+    | Ok (Isa.Load (op, a, b, c)) -> Ok (Load (op, a, b, c))
+    | Ok (Isa.Store (op, a, b, c)) -> Ok (Store (op, a, b, c))
+    | Ok (Isa.Branch (op, a, b, c)) -> Ok (Branch (op, a, b, c))
+    | Ok (Isa.Lui (a, b)) -> Ok (Lui (a, b))
+    | Ok (Isa.Auipc (a, b)) -> Ok (Auipc (a, b))
+    | Ok (Isa.Jal (a, b)) -> Ok (Jal (a, b))
+    | Ok (Isa.Jalr (a, b, c)) -> Ok (Jalr (a, b, c))
+    | Ok Isa.Ecall -> Ok Ecall
+    | Ok instr ->
+      Error (Printf.sprintf "not RV64I: %s" (Format.asprintf "%a" Isa.pp instr))
+  end
+
+(* ---------------- semantics ---------------- *)
+
+let sext32 v = Int64.of_int32 (Int64.to_int32 v)
+
+let alu64 (op : Isa.rop) a b =
+  let shamt = Int64.to_int b land 63 in
+  match op with
+  | Isa.ADD -> Int64.add a b
+  | Isa.SUB -> Int64.sub a b
+  | Isa.SLL -> Int64.shift_left a shamt
+  | Isa.SLT -> if Int64.compare a b < 0 then 1L else 0L
+  | Isa.SLTU -> if Int64.unsigned_compare a b < 0 then 1L else 0L
+  | Isa.XOR -> Int64.logxor a b
+  | Isa.SRL -> Int64.shift_right_logical a shamt
+  | Isa.SRA -> Int64.shift_right a shamt
+  | Isa.OR -> Int64.logor a b
+  | Isa.AND -> Int64.logand a b
+  | Isa.MUL | Isa.MULH | Isa.MULHSU | Isa.MULHU | Isa.DIV | Isa.DIVU | Isa.REM
+  | Isa.REMU ->
+    invalid_arg "Rv64.alu64: M extension op"
+
+let aluw (op : Isa.rop) a b =
+  let a32 = sext32 a and shamt = Int64.to_int b land 31 in
+  match op with
+  | Isa.ADD -> sext32 (Int64.add a32 (sext32 b))
+  | Isa.SUB -> sext32 (Int64.sub a32 (sext32 b))
+  | Isa.SLL -> sext32 (Int64.shift_left a32 shamt)
+  | Isa.SRL ->
+    sext32 (Int64.shift_right_logical (Int64.logand a 0xFFFFFFFFL) shamt)
+  | Isa.SRA -> sext32 (Int64.shift_right a32 shamt)
+  | _ -> invalid_arg "Rv64.aluw: not a W-form op"
+
+(* ---------------- execution ---------------- *)
+
+type machine = {
+  xregs : int64 array;
+  mutable pc : int;
+  mem : Main_memory.t;
+}
+
+let machine ?(pc = 0x1000) mem = { xregs = Array.make Reg.count 0L; pc; mem }
+let get_x m r = if r = 0 then 0L else m.xregs.(r)
+let set_x m r v = if r <> 0 then m.xregs.(r) <- v
+
+let branch_taken (op : Isa.bop) a b =
+  match op with
+  | Isa.BEQ -> Int64.equal a b
+  | Isa.BNE -> not (Int64.equal a b)
+  | Isa.BLT -> Int64.compare a b < 0
+  | Isa.BGE -> Int64.compare a b >= 0
+  | Isa.BLTU -> Int64.unsigned_compare a b < 0
+  | Isa.BGEU -> Int64.unsigned_compare a b >= 0
+
+let step (code : t array) ~base m =
+  let idx = (m.pc - base) / 4 in
+  if idx < 0 || idx >= Array.length code || (m.pc - base) mod 4 <> 0 then
+    Error "pc out of range"
+  else begin
+    let x = get_x m in
+    let addr_of base_r off = Int64.to_int (get_x m base_r) + off in
+    let continue_at pc = m.pc <- pc; Ok () in
+    let next = m.pc + 4 in
+    try
+      match code.(idx) with
+      | Rtype (op, rd, rs1, rs2) ->
+        set_x m rd (alu64 op (x rs1) (x rs2));
+        continue_at next
+      | Itype ((Isa.SLLI | Isa.SRLI | Isa.SRAI) as op, rd, rs1, sh) ->
+        set_x m rd (alu64 (match op with Isa.SLLI -> Isa.SLL | Isa.SRLI -> Isa.SRL | _ -> Isa.SRA)
+                      (x rs1) (Int64.of_int sh));
+        continue_at next
+      | Itype (op, rd, rs1, imm) ->
+        let rop =
+          match op with
+          | Isa.ADDI -> Isa.ADD | Isa.SLTI -> Isa.SLT | Isa.SLTIU -> Isa.SLTU
+          | Isa.XORI -> Isa.XOR | Isa.ORI -> Isa.OR | Isa.ANDI -> Isa.AND
+          | Isa.SLLI | Isa.SRLI | Isa.SRAI -> assert false
+        in
+        set_x m rd (alu64 rop (x rs1) (Int64.of_int imm));
+        continue_at next
+      | Rw (op, rd, rs1, rs2) ->
+        set_x m rd (aluw op (x rs1) (x rs2));
+        continue_at next
+      | Iw (op, rd, rs1, imm) ->
+        let rop =
+          match op with
+          | Isa.ADDI -> Isa.ADD | Isa.SLLI -> Isa.SLL | Isa.SRLI -> Isa.SRL
+          | Isa.SRAI -> Isa.SRA | _ -> assert false
+        in
+        set_x m rd (aluw rop (x rs1) (Int64.of_int imm));
+        continue_at next
+      | Load (op, rd, base_r, off) ->
+        let a = addr_of base_r off in
+        let v =
+          match op with
+          | Isa.LB -> Int64.of_int (Main_memory.load_byte m.mem a)
+          | Isa.LBU -> Int64.of_int (Main_memory.load_byte_u m.mem a)
+          | Isa.LH -> Int64.of_int (Main_memory.load_half m.mem a)
+          | Isa.LHU -> Int64.of_int (Main_memory.load_half_u m.mem a)
+          | Isa.LW -> Int64.of_int (Main_memory.load_word m.mem a)
+        in
+        set_x m rd v;
+        continue_at next
+      | Lwu (rd, base_r, off) ->
+        set_x m rd
+          (Int64.logand (Int64.of_int (Main_memory.load_word m.mem (addr_of base_r off)))
+             0xFFFFFFFFL);
+        continue_at next
+      | Ld (rd, base_r, off) ->
+        set_x m rd (Main_memory.load_dword m.mem (addr_of base_r off));
+        continue_at next
+      | Store (op, src, base_r, off) ->
+        let a = addr_of base_r off in
+        let v = Int64.to_int (x src) in
+        (match op with
+        | Isa.SB -> Main_memory.store_byte m.mem a v
+        | Isa.SH -> Main_memory.store_half m.mem a v
+        | Isa.SW -> Main_memory.store_word m.mem a (Int64.to_int (sext32 (x src))));
+        continue_at next
+      | Sd (src, base_r, off) ->
+        Main_memory.store_dword m.mem (addr_of base_r off) (x src);
+        continue_at next
+      | Branch (op, rs1, rs2, off) ->
+        continue_at (if branch_taken op (x rs1) (x rs2) then m.pc + off else next)
+      | Lui (rd, imm) ->
+        set_x m rd (Int64.of_int imm);
+        continue_at next
+      | Auipc (rd, imm) ->
+        set_x m rd (Int64.of_int (m.pc + imm));
+        continue_at next
+      | Jal (rd, off) ->
+        set_x m rd (Int64.of_int next);
+        continue_at (m.pc + off)
+      | Jalr (rd, base_r, off) ->
+        let target = (Int64.to_int (x base_r) + off) land lnot 1 in
+        set_x m rd (Int64.of_int next);
+        continue_at target
+      | Ecall -> Error "exit"
+    with Invalid_argument msg -> Error msg
+  end
+
+let run ?(max_steps = 10_000_000) code ~base m =
+  let rec go retired =
+    if retired >= max_steps then Error "step limit"
+    else
+      match step code ~base m with
+      | Ok () -> go (retired + 1)
+      | Error "exit" -> Ok retired
+      | Error _ as e -> e |> Result.map (fun _ -> retired)
+  in
+  go 0

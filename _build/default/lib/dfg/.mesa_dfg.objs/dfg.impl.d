@@ -1,0 +1,1 @@
+lib/dfg/dfg.ml: Array Buffer Float Format Isa List Option Printf Reg String

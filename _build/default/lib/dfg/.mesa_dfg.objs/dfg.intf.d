@@ -1,0 +1,1 @@
+lib/dfg/dfg.mli: Format Isa Reg

@@ -1,0 +1,1 @@
+lib/dfg/perf_model.ml: Array Dfg Hashtbl Isa Latency Stats

@@ -1,0 +1,1 @@
+lib/dfg/perf_model.mli: Dfg Latency

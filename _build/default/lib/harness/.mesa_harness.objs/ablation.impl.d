@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Accel_config Controller Energy_model Experiments Fun Grid Hashtbl Kernel List Main_memory Option Printf Runner Stats Tables Workloads

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Kernel Tables

@@ -1,0 +1,1 @@
+lib/harness/export.ml: Experiments Fun List Printf String Tables

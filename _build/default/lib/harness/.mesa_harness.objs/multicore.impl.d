@@ -1,0 +1,1 @@
+lib/harness/multicore.ml: Array Cpu_run Fun Hierarchy Kernel List Ooo_model

@@ -1,0 +1,1 @@
+lib/harness/multicore.mli: Kernel Main_memory Ooo_model

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Controller Cpu_run Dfg Dynaspam Energy_model Grid Hierarchy Isa Kernel Ldfg Main_memory Multicore Ooo_model Option Printf Program Region

@@ -1,0 +1,26 @@
+(** Ablation study over MESA's design choices (the knobs DESIGN.md calls
+    out): each variant strips exactly one mechanism from the full
+    configuration and re-runs the suite, so the table attributes the
+    speedup to its sources.
+
+    Variants:
+    - [full]           everything on (the Figure 11 configuration)
+    - [no_tiling]      spatial tiling disabled (Figure 6 off)
+    - [no_pipelining]  iterations execute back-to-back
+    - [no_mem_opts]    store-load forwarding / vectorization / prefetch off
+    - [no_iterative]   runtime reconfiguration off
+    - [nothing]        bare Algorithm 1 placement only *)
+
+type variant = Full | No_tiling | No_pipelining | No_mem_opts | No_iterative | Nothing
+
+val variant_name : variant -> string
+val all_variants : variant list
+
+val run_variant : ?grid:Grid.t -> variant -> Kernel.t -> Runner.measurement
+(** One kernel under one variant (functional outputs are still verified). *)
+
+val experiment : ?grid:Grid.t -> ?kernels:Kernel.t list -> unit -> Experiments.outcome
+(** The full ablation table: per kernel, each variant's speedup over the
+    16-core baseline; a geomean row summarizes how much each mechanism is
+    worth. Defaults to four representative kernels (one FP-streaming, one
+    predicated, one vectorizable, one memory-bound). *)

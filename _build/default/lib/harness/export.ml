@@ -1,0 +1,24 @@
+let escape_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row_to_csv cells = String.concat "," (List.map escape_cell cells)
+
+let table_to_csv t =
+  let lines = row_to_csv (Tables.headers t) :: List.map row_to_csv (Tables.data_rows t) in
+  String.concat "\n" lines ^ "\n"
+
+let summary_to_csv summary =
+  let lines =
+    "metric,value"
+    :: List.map (fun (k, v) -> Printf.sprintf "%s,%.6g" (escape_cell k) v) summary
+  in
+  String.concat "\n" lines ^ "\n"
+
+let outcome_to_csv (o : Experiments.outcome) =
+  table_to_csv o.Experiments.table ^ "\n" ^ summary_to_csv o.Experiments.summary
+
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)

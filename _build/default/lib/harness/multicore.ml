@@ -1,0 +1,34 @@
+type result = {
+  cycles : int;
+  threads : int;
+  summaries : Ooo_model.summary list;
+}
+
+let default_fork_join_cycles = 6000
+
+let run ?(cores = 16) ?(fork_join_cycles = default_fork_join_cycles)
+    ?(cpu = Ooo_model.default_config) (k : Kernel.t) mem =
+  if (not k.Kernel.parallel) || cores <= 1 then begin
+    let hier = Hierarchy.create Hierarchy.default_config in
+    let machine = Kernel.prepare_slice k mem ~lo:0 ~hi:k.Kernel.n in
+    let r = Cpu_run.run ~config:cpu ~hierarchy:hier k.Kernel.program machine in
+    { cycles = r.Cpu_run.summary.Ooo_model.cycles; threads = 1; summaries = [ r.Cpu_run.summary ] }
+  end
+  else begin
+    let hiers = Hierarchy.create_shared Hierarchy.default_config ~cores in
+    let n = k.Kernel.n in
+    let slice tid =
+      let lo = n * tid / cores and hi = n * (tid + 1) / cores in
+      if hi <= lo then None
+      else begin
+        let machine = Kernel.prepare_slice k mem ~lo ~hi in
+        let r = Cpu_run.run ~config:cpu ~hierarchy:hiers.(tid) k.Kernel.program machine in
+        Some r.Cpu_run.summary
+      end
+    in
+    let summaries = List.filter_map slice (List.init cores Fun.id) in
+    let slowest =
+      List.fold_left (fun acc s -> max acc s.Ooo_model.cycles) 0 summaries
+    in
+    { cycles = slowest + fork_join_cycles; threads = List.length summaries; summaries }
+  end

@@ -1,0 +1,28 @@
+(** The 16-core OoO CPU baseline of §6 (gem5 multicore in the paper).
+
+    A kernel whose hot loop is OpenMP-parallel is split into per-thread
+    index slices, each simulated on its own core model with a private L1
+    over the shared L2 (extra latency per sharer models contention). The
+    region's wall clock is the slowest slice plus the OpenMP fork/join
+    overhead — the real-world cost that MESA's sub-microsecond
+    configuration undercuts. Non-parallel kernels run on one core. *)
+
+type result = {
+  cycles : int;
+  threads : int;
+  summaries : Ooo_model.summary list; (** one per active core *)
+}
+
+val default_fork_join_cycles : int
+(** ~3 us at 2 GHz for a 16-thread parallel region. *)
+
+val run :
+  ?cores:int ->
+  ?fork_join_cycles:int ->
+  ?cpu:Ooo_model.config ->
+  Kernel.t ->
+  Main_memory.t ->
+  result
+(** Execute the kernel (memory must already contain its inputs). Slices are
+    simulated sequentially, which is functionally equivalent for the
+    independent iterations the annotation guarantees. *)

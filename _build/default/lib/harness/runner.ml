@@ -1,0 +1,122 @@
+type measurement = {
+  label : string;
+  cycles : int;
+  energy_nj : float;
+  checked : (unit, string) result;
+}
+
+let speedup ~baseline m =
+  if m.cycles = 0 then 0.0 else float_of_int baseline.cycles /. float_of_int m.cycles
+
+let efficiency ~baseline m = Energy_model.efficiency_gain ~baseline_nj:baseline.energy_nj m.energy_nj
+
+let single_core (k : Kernel.t) =
+  let mem = Main_memory.create () in
+  k.Kernel.setup mem;
+  let machine = Kernel.prepare_slice k mem ~lo:0 ~hi:k.Kernel.n in
+  let r = Cpu_run.run k.Kernel.program machine in
+  {
+    label = "1-core OoO";
+    cycles = r.Cpu_run.summary.Ooo_model.cycles;
+    energy_nj = Energy_model.cpu_energy_nj r.Cpu_run.summary;
+    checked = k.Kernel.check mem;
+  }
+
+let multicore ?(cores = 16) (k : Kernel.t) =
+  let mem = Main_memory.create () in
+  k.Kernel.setup mem;
+  let r = Multicore.run ~cores k mem in
+  {
+    label = Printf.sprintf "%d-core OoO" cores;
+    cycles = r.Multicore.cycles;
+    energy_nj = Energy_model.multicore_energy_nj r.Multicore.summaries;
+    checked = k.Kernel.check mem;
+  }
+
+let mesa ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true) ?mem_ports (k : Kernel.t) =
+  let grid =
+    match mem_ports with None -> grid | Some p -> { grid with Grid.mem_ports = p }
+  in
+  let options = Controller.default_options ~grid ~optimize ~iterative () in
+  let mem = Main_memory.create () in
+  let machine = Kernel.prepare k mem in
+  let report = Controller.run ~options k.Kernel.program machine in
+  let accel = Energy_model.accel_energy ~grid report.Controller.activity in
+  let energy_nj =
+    Energy_model.cpu_energy_nj report.Controller.cpu_summary
+    +. accel.Energy_model.total_nj
+    +. Energy_model.mesa_energy_nj ~busy_cycles:report.Controller.mesa_busy_cycles
+  in
+  ( {
+      label = grid.Grid.name;
+      cycles = report.Controller.total_cycles;
+      energy_nj;
+      checked = k.Kernel.check mem;
+    },
+    report )
+
+let dfg_of_kernel (k : Kernel.t) =
+  let prog = k.Kernel.program in
+  let code = Program.code prog in
+  let backward =
+    let rec find i =
+      if i = Array.length code then failwith (k.Kernel.name ^ ": no backward branch")
+      else
+        match code.(i) with
+        | Isa.Branch (_, _, _, off) when off < 0 -> i
+        | _ -> find (i + 1)
+    in
+    find 0
+  in
+  let last_addr = Program.addr_of_index prog backward in
+  let off = Option.get (Isa.branch_offset code.(backward)) in
+  let entry = last_addr + off in
+  let first = Program.index_of_addr prog entry in
+  let region =
+    {
+      Region.entry;
+      back_branch_addr = last_addr;
+      instrs = Array.sub code first (backward - first + 1);
+      pragma = Program.pragma_at prog entry;
+      observed_iterations = 0;
+    }
+  in
+  Ldfg.build_exn region
+
+let dynaspam ?(config = Dynaspam.default_config) (k : Kernel.t) =
+  let base = single_core k in
+  let dfg = dfg_of_kernel k in
+  if Dfg.node_count dfg > config.Dynaspam.window then
+    { base with label = "DynaSpAM (not qualified)" }
+  else begin
+    (* Empirical model: the trace executes on the in-core fabric with the
+       frontend out of the way — wide issue, predication instead of branch
+       recovery — but the core's own functional units, memory ports, cache
+       behaviour and a window bounded by the fabric size. We reuse the OoO
+       dataflow scheduler with that configuration over the real dynamic
+       stream. *)
+    let fabric_cpu =
+      {
+        Ooo_model.default_config with
+        Ooo_model.width = 8;
+        rob_size = Ooo_model.default_config.Ooo_model.rob_size;
+        mispredict_penalty = 0;
+        alu_units = config.Dynaspam.alu_throughput;
+        fp_units = config.Dynaspam.fp_throughput;
+        mem_ports = config.Dynaspam.mem_ports;
+      }
+    in
+    let mem = Main_memory.create () in
+    k.Kernel.setup mem;
+    let machine = Kernel.prepare_slice k mem ~lo:0 ~hi:k.Kernel.n in
+    let hier = Hierarchy.create Hierarchy.default_config in
+    let r = Cpu_run.run ~config:fabric_cpu ~hierarchy:hier k.Kernel.program machine in
+    let cycles = r.Cpu_run.summary.Ooo_model.cycles + 300 in
+    let energy_nj =
+      (* Same dynamic work minus the frontend/rename share, plus static
+         power over the (shorter) runtime. *)
+      (float_of_int cycles *. 0.175)
+      +. ((base.energy_nj -. (float_of_int base.cycles *. 0.175)) *. 0.6)
+    in
+    { label = "DynaSpAM"; cycles; energy_nj; checked = k.Kernel.check mem }
+  end

@@ -1,0 +1,40 @@
+(** Unified kernel execution across every substrate the evaluation
+    compares, each returning the same measurement record (cycles, energy,
+    output validation). *)
+
+type measurement = {
+  label : string;
+  cycles : int;
+  energy_nj : float;
+  checked : (unit, string) result;  (** output validated against the OCaml
+                                        reference *)
+}
+
+val speedup : baseline:measurement -> measurement -> float
+val efficiency : baseline:measurement -> measurement -> float
+
+val single_core : Kernel.t -> measurement
+(** One OoO core (the Figure 14 baseline). *)
+
+val multicore : ?cores:int -> Kernel.t -> measurement
+(** The 16-core baseline (Figure 11). *)
+
+val mesa :
+  ?grid:Grid.t ->
+  ?optimize:bool ->
+  ?iterative:bool ->
+  ?mem_ports:int ->
+  Kernel.t ->
+  measurement * Controller.report
+(** Full MESA run (CPU + transparent offload). [mem_ports] overrides the
+    accelerator's cache ports (Figure 15's ideal-memory variant). *)
+
+val dfg_of_kernel : Kernel.t -> Dfg.t
+(** The kernel's hot-loop LDFG, for the analytic baselines (OpenCGRA /
+    DynaSpAM) and inspection. Raises [Failure] on kernels whose loop cannot
+    be translated. *)
+
+val dynaspam : ?config:Dynaspam.config -> Kernel.t -> measurement
+(** DynaSpAM analytic model over the same dynamic iteration count; the
+    non-loop remainder is charged at single-core cost. Unqualified kernels
+    return the single-core measurement. *)

@@ -1,0 +1,1 @@
+lib/mem/main_memory.ml: Array Bytes Char Int32 Printf Sys

@@ -1,0 +1,1 @@
+lib/mem/main_memory.mli:

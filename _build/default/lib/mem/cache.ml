@@ -1,0 +1,120 @@
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let config ~size_bytes ~ways ~line_bytes ~hit_latency =
+  if not (is_pow2 line_bytes) then invalid_arg "Cache.config: line size must be a power of two";
+  if ways <= 0 then invalid_arg "Cache.config: ways must be positive";
+  if size_bytes mod (ways * line_bytes) <> 0 then
+    invalid_arg "Cache.config: capacity not divisible by ways * line size";
+  let sets = size_bytes / (ways * line_bytes) in
+  if not (is_pow2 sets) then invalid_arg "Cache.config: set count must be a power of two";
+  if hit_latency < 0 then invalid_arg "Cache.config: negative hit latency";
+  { size_bytes; ways; line_bytes; hit_latency }
+
+type outcome = Hit | Miss of { dirty_eviction : bool }
+
+type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable lru : int }
+
+type t = {
+  cfg : config;
+  sets : line array array; (* sets.(set).(way) *)
+  set_mask : int;
+  line_shift : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let create cfg =
+  let nsets = cfg.size_bytes / (cfg.ways * cfg.line_bytes) in
+  let line_shift =
+    let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
+    go cfg.line_bytes 0
+  in
+  let sets =
+    Array.init nsets (fun _ ->
+        Array.init cfg.ways (fun _ -> { tag = 0; valid = false; dirty = false; lru = 0 }))
+  in
+  { cfg; sets; set_mask = nsets - 1; line_shift; clock = 0; hits = 0; misses = 0; writebacks = 0 }
+
+let geometry t = t.cfg
+
+let locate t addr =
+  let line_addr = addr lsr t.line_shift in
+  let set = line_addr land t.set_mask in
+  let tag = line_addr lsr 0 in
+  (t.sets.(set), tag)
+
+let find_way ways tag =
+  let rec go i =
+    if i = Array.length ways then None
+    else if ways.(i).valid && ways.(i).tag = tag then Some ways.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let access t addr ~write =
+  t.clock <- t.clock + 1;
+  let ways, tag = locate t addr in
+  match find_way ways tag with
+  | Some line ->
+    t.hits <- t.hits + 1;
+    line.lru <- t.clock;
+    if write then line.dirty <- true;
+    Hit
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Choose an invalid way if any, else the LRU way. *)
+    let victim =
+      let best = ref ways.(0) in
+      Array.iter
+        (fun line ->
+          if not line.valid then begin
+            if !best.valid then best := line
+          end
+          else if !best.valid && line.lru < !best.lru then best := line)
+        ways;
+      !best
+    in
+    let dirty_eviction = victim.valid && victim.dirty in
+    if dirty_eviction then t.writebacks <- t.writebacks + 1;
+    victim.tag <- tag;
+    victim.valid <- true;
+    victim.dirty <- write;
+    victim.lru <- t.clock;
+    Miss { dirty_eviction }
+
+let probe t addr =
+  let ways, tag = locate t addr in
+  Option.is_some (find_way ways tag)
+
+let invalidate_all t =
+  Array.iter
+    (fun ways ->
+      Array.iter
+        (fun line ->
+          line.valid <- false;
+          line.dirty <- false)
+        ways)
+    t.sets
+
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks
+let accesses t = t.hits + t.misses
+
+let hit_rate t =
+  let n = accesses t in
+  if n = 0 then 0.0 else float_of_int t.hits /. float_of_int n
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0

@@ -1,0 +1,68 @@
+type t = { data : Bytes.t }
+
+let create ?(size = 16 * 1024 * 1024) () = { data = Bytes.make size '\000' }
+let size t = Bytes.length t.data
+
+let check t addr width =
+  if addr < 0 || addr + width > Bytes.length t.data then
+    invalid_arg (Printf.sprintf "Main_memory: access at 0x%x width %d out of bounds" addr width)
+
+let sign_extend ~bits v =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let load_byte_u t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.data addr)
+
+let load_byte t addr = sign_extend ~bits:8 (load_byte_u t addr)
+
+let load_half_u t addr =
+  check t addr 2;
+  Bytes.get_uint16_le t.data addr
+
+let load_half t addr = sign_extend ~bits:16 (load_half_u t addr)
+
+let load_word t addr =
+  check t addr 4;
+  Int32.to_int (Bytes.get_int32_le t.data addr)
+
+let load_dword t addr =
+  check t addr 8;
+  Bytes.get_int64_le t.data addr
+
+let store_dword t addr v =
+  check t addr 8;
+  Bytes.set_int64_le t.data addr v
+
+let store_byte t addr v =
+  check t addr 1;
+  Bytes.set t.data addr (Char.chr (v land 0xFF))
+
+let store_half t addr v =
+  check t addr 2;
+  Bytes.set_uint16_le t.data addr (v land 0xFFFF)
+
+let store_word t addr v =
+  check t addr 4;
+  Bytes.set_int32_le t.data addr (Int32.of_int v)
+
+let load_float32 t addr =
+  check t addr 4;
+  Int32.float_of_bits (Bytes.get_int32_le t.data addr)
+
+let store_float32 t addr f =
+  check t addr 4;
+  Bytes.set_int32_le t.data addr (Int32.bits_of_float f)
+
+let copy t = { data = Bytes.copy t.data }
+let equal a b = Bytes.equal a.data b.data
+
+let blit_words t addr ws =
+  Array.iteri (fun i w -> store_word t (addr + (4 * i)) w) ws
+
+let blit_floats t addr fs =
+  Array.iteri (fun i f -> store_float32 t (addr + (4 * i)) f) fs
+
+let read_words t addr n = Array.init n (fun i -> load_word t (addr + (4 * i)))
+let read_floats t addr n = Array.init n (fun i -> load_float32 t (addr + (4 * i)))

@@ -1,0 +1,1 @@
+lib/power/area_model.ml: Grid List

@@ -1,0 +1,1 @@
+lib/power/area_model.mli: Grid

@@ -1,0 +1,1 @@
+lib/power/energy_model.ml: Activity Grid List Ooo_model

@@ -1,0 +1,1 @@
+lib/power/energy_model.mli: Activity Grid Ooo_model

@@ -1,0 +1,86 @@
+type entry = {
+  component : string;
+  area_um2 : float;
+  power_mw : float;
+  indent : int;
+}
+
+(* Calibration point: the paper's synthesized configuration — capacity 512
+   entries, 128 PEs. *)
+let cal_capacity = 512.0
+let cal_pes = 128.0
+let cal_ls_entries = 64.0
+
+let e component indent area_um2 power_mw = { component; area_um2; power_mw; indent }
+
+let mesa_extensions ~capacity =
+  let c = float_of_int capacity /. cal_capacity in
+  let rename = e "Instr. RenameTable" 2 11417.5 6.161 in
+  let ldfg = e "LDFG" 2 (148483.6 *. c) (90.0 *. c) in
+  let convert = e "Instr. Convert" 2 601.4 0.465 in
+  let lat_opt = e "Latency Optimizer" 3 4060.4 3.302 in
+  let sdfg = e "SDFG" 3 (201171.0 *. c) (120.0 *. c) in
+  (* Glue constants make the 128-PE/512-entry configuration reproduce the
+     paper's roll-ups exactly. *)
+  let mapping =
+    e "Instr. Mapping" 2
+      (lat_opt.area_um2 +. sdfg.area_um2 +. 3201.5)
+      (lat_opt.power_mw +. sdfg.power_mw +. 6.698)
+  in
+  let arch_model =
+    e "MESA ArchModel" 1
+      (rename.area_um2 +. ldfg.area_um2 +. convert.area_um2 +. mapping.area_um2 +. 6064.6)
+      (rename.power_mw +. ldfg.power_mw +. convert.power_mw +. mapping.power_mw +. 43.374)
+  in
+  let config_block = e "MESA ConfigBlock" 1 101357.9 70.0 in
+  let top =
+    e "MESA Top" 0
+      (arch_model.area_um2 +. config_block.area_um2 +. 25642.1)
+      (arch_model.power_mw +. config_block.power_mw +. 20.0)
+  in
+  [ top; arch_model; rename; ldfg; convert; mapping; lat_opt; sdfg; config_block ]
+
+let cpu_additions ~capacity =
+  let c = float_of_int capacity /. cal_capacity in
+  [
+    e "Trace Cache" 0 (27124.5 *. c) (15.455 *. c);
+    e "Add'l Control / Interface" 0 3590.1 3.219;
+  ]
+
+let accelerator ~(grid : Grid.t) =
+  let p = float_of_int (Grid.pe_count grid) /. cal_pes in
+  let l = float_of_int grid.Grid.ls_entries /. cal_ls_entries in
+  let pe_array = e "PE Array" 1 (14.95e6 *. p) (4080.0 *. p) in
+  let fp_slice = e "FP Slice (2x2)" 2 821889.1 213.107 in
+  let lsu = e "Load-Store Unit" 1 (5.04e6 *. l) (1550.0 *. l) in
+  let noc = e "NoC" 1 (3.41e6 *. p) (1830.0 *. p) in
+  let glue_area = 26.56e6 -. (14.95e6 +. 5.04e6 +. 3.41e6) in
+  let glue_power = 11650.0 -. (4080.0 +. 1550.0 +. 1830.0) in
+  let top =
+    e "Accelerator Top" 0
+      (pe_array.area_um2 +. lsu.area_um2 +. noc.area_um2 +. (glue_area *. p))
+      (pe_array.power_mw +. lsu.power_mw +. noc.power_mw +. (glue_power *. p))
+  in
+  [ top; pe_array; fp_slice; lsu; noc ]
+
+let full_table ~capacity ~grid =
+  mesa_extensions ~capacity @ cpu_additions ~capacity @ accelerator ~grid
+
+let total_area_mm2 entries =
+  List.fold_left
+    (fun acc en -> if en.indent = 0 then acc +. (en.area_um2 /. 1e6) else acc)
+    0.0 entries
+
+let total_power_w entries =
+  List.fold_left
+    (fun acc en -> if en.indent = 0 then acc +. (en.power_mw /. 1e3) else acc)
+    0.0 entries
+
+(* BOOM-class core: ~6 mm^2 in 28 nm [BROOM]; MESA Top at the paper's
+   configuration is 0.502 mm^2, i.e. under 10% of the core. *)
+let core_area_mm2 = 6.0
+
+let mesa_area_fraction_of_core ~capacity =
+  match mesa_extensions ~capacity with
+  | top :: _ -> top.area_um2 /. 1e6 /. core_area_mm2
+  | [] -> 0.0

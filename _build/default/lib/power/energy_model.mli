@@ -1,0 +1,33 @@
+(** Energy accounting (the paper's §6.1 methodology: per-cycle accumulation
+    of dynamically active components, clock-gating disabled units).
+
+    All figures are in nanojoules at the nominal 2 GHz clock. Accelerator
+    component powers derive from Table 1; the CPU model follows the
+    McPAT-style split of static per-cycle power plus per-instruction
+    energies (the von Neumann overheads of fetch/decode/rename/wakeup that
+    §6.2 credits MESA with avoiding). *)
+
+(** Figure 13's categories. *)
+type breakdown = {
+  compute_nj : float;   (** PE array dynamic *)
+  memory_nj : float;    (** load-store unit + caches + DRAM *)
+  interconnect_nj : float; (** local links + NoC *)
+  control_nj : float;   (** always-on sequencing/enable glue + MESA *)
+  total_nj : float;
+}
+
+val accel_energy : grid:Grid.t -> Activity.t -> breakdown
+(** Energy of an accelerator run with the given activity counters. *)
+
+val mesa_energy_nj : busy_cycles:int -> float
+(** MESA controller block energy for its translation/configuration work. *)
+
+val cpu_energy_nj : Ooo_model.summary -> float
+(** Energy of one core executing the summarized stream. *)
+
+val multicore_energy_nj : Ooo_model.summary list -> float
+(** Sum over cores (fork/join idling is inside each summary's cycles). *)
+
+val efficiency_gain : baseline_nj:float -> float -> float
+(** Energy-efficiency gain for the same unit of work: performance per watt
+    relative to the baseline reduces to the energy ratio. *)

@@ -1,0 +1,1 @@
+lib/riscv/asm.ml: Array Encode Isa List Printf Program Reg

@@ -1,0 +1,1 @@
+lib/riscv/decode.ml: Int32 Isa Printf Sys

@@ -1,0 +1,1 @@
+lib/riscv/decode.mli: Isa

@@ -1,0 +1,1 @@
+lib/riscv/disasm.ml: Format Isa Program

@@ -1,0 +1,1 @@
+lib/riscv/disasm.mli: Isa Program

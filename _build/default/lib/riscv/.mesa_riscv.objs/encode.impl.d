@@ -1,0 +1,1 @@
+lib/riscv/encode.ml: Int32 Isa Printf Reg

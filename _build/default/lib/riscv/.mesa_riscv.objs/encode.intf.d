@@ -1,0 +1,1 @@
+lib/riscv/encode.mli: Isa

@@ -1,0 +1,1 @@
+lib/riscv/isa.mli: Format Reg

@@ -1,0 +1,1 @@
+lib/riscv/latency.mli: Isa

@@ -1,0 +1,1 @@
+lib/riscv/program.ml: Array Decode Encode Format Isa List Option Printf

@@ -1,0 +1,1 @@
+lib/riscv/program.mli: Format Isa

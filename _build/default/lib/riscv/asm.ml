@@ -1,0 +1,167 @@
+type fixup =
+  | Fix_branch of Isa.bop * Reg.t * Reg.t
+  | Fix_jal of Reg.t
+
+type t = {
+  base : int;
+  mutable instrs : Isa.t list; (* reverse order *)
+  mutable count : int;
+  mutable labels : (string * int) list; (* label -> address *)
+  mutable fixups : (int * fixup * string) list; (* index, kind, target label *)
+  mutable pragmas : (int * Program.pragma) list;
+}
+
+let create ?(base = 0x1000) () =
+  { base; instrs = []; count = 0; labels = []; fixups = []; pragmas = [] }
+
+let here t = t.base + (4 * t.count)
+
+let label t name =
+  if List.mem_assoc name t.labels then failwith ("Asm: duplicate label " ^ name);
+  t.labels <- (name, here t) :: t.labels
+
+let pragma t p = t.pragmas <- (here t, p) :: t.pragmas
+
+let emit t i =
+  t.instrs <- i :: t.instrs;
+  t.count <- t.count + 1
+
+let emit_fixup t placeholder kind target =
+  t.fixups <- (t.count, kind, target) :: t.fixups;
+  emit t placeholder
+
+let assemble t =
+  let code = Array.of_list (List.rev t.instrs) in
+  let resolve label =
+    match List.assoc_opt label t.labels with
+    | Some addr -> addr
+    | None -> failwith ("Asm: undefined label " ^ label)
+  in
+  List.iter
+    (fun (index, kind, target) ->
+      let pc = t.base + (4 * index) in
+      let off = resolve target - pc in
+      (match kind with
+      | Fix_branch (op, rs1, rs2) ->
+        if not (Encode.branch_offset_fits off) then
+          failwith (Printf.sprintf "Asm: branch to %s out of range (%d)" target off);
+        code.(index) <- Isa.Branch (op, rs1, rs2, off)
+      | Fix_jal rd ->
+        if not (Encode.jal_offset_fits off) then
+          failwith (Printf.sprintf "Asm: jal to %s out of range (%d)" target off);
+        code.(index) <- Isa.Jal (rd, off)))
+    t.fixups;
+  Program.make ~base:t.base ~symbols:t.labels ~pragmas:t.pragmas code
+
+(* Integer register-register *)
+
+let rtype op t rd rs1 rs2 = emit t (Isa.Rtype (op, rd, rs1, rs2))
+let add t = rtype ADD t
+let sub t = rtype SUB t
+let sll t = rtype SLL t
+let slt t = rtype SLT t
+let sltu t = rtype SLTU t
+let xor t = rtype XOR t
+let srl t = rtype SRL t
+let sra t = rtype SRA t
+let or_ t = rtype OR t
+let and_ t = rtype AND t
+let mul t = rtype MUL t
+let mulh t = rtype MULH t
+let div t = rtype DIV t
+let divu t = rtype DIVU t
+let rem t = rtype REM t
+let remu t = rtype REMU t
+
+(* Integer register-immediate *)
+
+let itype op t rd rs1 imm = emit t (Isa.Itype (op, rd, rs1, imm))
+let addi t = itype ADDI t
+let slti t = itype SLTI t
+let sltiu t = itype SLTIU t
+let xori t = itype XORI t
+let ori t = itype ORI t
+let andi t = itype ANDI t
+let slli t = itype SLLI t
+let srli t = itype SRLI t
+let srai t = itype SRAI t
+
+(* Memory *)
+
+let load op t rd off base = emit t (Isa.Load (op, rd, base, off))
+let lw t = load LW t
+let lh t = load LH t
+let lb t = load LB t
+let lhu t = load LHU t
+let lbu t = load LBU t
+
+let store op t src off base = emit t (Isa.Store (op, src, base, off))
+let sw t = store SW t
+let sh t = store SH t
+let sb t = store SB t
+
+let flw t fd off base = emit t (Isa.Flw (fd, base, off))
+let fsw t fsrc off base = emit t (Isa.Fsw (fsrc, base, off))
+
+(* Control flow *)
+
+let branch op t rs1 rs2 target =
+  emit_fixup t (Isa.Branch (op, rs1, rs2, 0)) (Fix_branch (op, rs1, rs2)) target
+
+let beq t = branch BEQ t
+let bne t = branch BNE t
+let blt t = branch BLT t
+let bge t = branch BGE t
+let bltu t = branch BLTU t
+let bgeu t = branch BGEU t
+
+let jal t rd target = emit_fixup t (Isa.Jal (rd, 0)) (Fix_jal rd) target
+let j t target = jal t Reg.zero target
+let jalr t rd base off = emit t (Isa.Jalr (rd, base, off))
+let ret t = jalr t Reg.zero Reg.ra 0
+
+(* Upper immediates and pseudos *)
+
+let lui t rd v = emit t (Isa.Lui (rd, v))
+let auipc t rd v = emit t (Isa.Auipc (rd, v))
+
+let li t rd v =
+  if Encode.imm12_fits v then addi t rd Reg.zero v
+  else begin
+    (* Split into upper 20 + signed lower 12; the addi sign-extension must be
+       compensated in the lui part, as standard toolchains do. *)
+    let lo = ((v land 0xFFF) lxor 0x800) - 0x800 in
+    let hi = (v - lo) land 0xFFFFF000 in
+    (* Re-sign-extend bit 31 so the decoded Lui payload matches. *)
+    let hi = if hi land 0x80000000 <> 0 then hi - (1 lsl 32) else hi in
+    lui t rd hi;
+    if lo <> 0 then addi t rd rd lo
+  end
+
+let mv t rd rs = addi t rd rs 0
+let nop t = addi t Reg.zero Reg.zero 0
+let ecall t = emit t Isa.Ecall
+let ebreak t = emit t Isa.Ebreak
+
+(* Floating point *)
+
+let ftype op t fd fs1 fs2 = emit t (Isa.Ftype (op, fd, fs1, fs2))
+let fadd t = ftype FADD t
+let fsub t = ftype FSUB t
+let fmul t = ftype FMUL t
+let fdiv t = ftype FDIV t
+let fsqrt t fd fs1 = emit t (Isa.Ftype (FSQRT, fd, fs1, 0))
+let fmin t = ftype FMIN t
+let fmax t = ftype FMAX t
+let fsgnj t = ftype FSGNJ t
+let fmv t fd fs = fsgnj t fd fs fs
+
+let fcmp op t rd fs1 fs2 = emit t (Isa.Fcmp (op, rd, fs1, fs2))
+let feq t = fcmp FEQ t
+let flt t = fcmp FLT t
+let fle t = fcmp FLE t
+
+let fcvt_w_s t rd fs1 = emit t (Isa.Fcvt_w_s (rd, fs1))
+let fcvt_s_w t fd rs1 = emit t (Isa.Fcvt_s_w (fd, rs1))
+let fmv_x_w t rd fs1 = emit t (Isa.Fmv_x_w (rd, fs1))
+let fmv_w_x t fd rs1 = emit t (Isa.Fmv_w_x (fd, rs1))

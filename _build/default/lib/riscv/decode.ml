@@ -1,0 +1,163 @@
+let sign_extend ~bits v =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let of_word w =
+  let u = Int32.to_int w land 0xFFFFFFFF in
+  let opcode = u land 0x7F in
+  let rd = (u lsr 7) land 0x1F in
+  let funct3 = (u lsr 12) land 0x7 in
+  let rs1 = (u lsr 15) land 0x1F in
+  let rs2 = (u lsr 20) land 0x1F in
+  let funct7 = (u lsr 25) land 0x7F in
+  let imm_i = sign_extend ~bits:12 ((u lsr 20) land 0xFFF) in
+  let imm_s = sign_extend ~bits:12 ((funct7 lsl 5) lor rd) in
+  let imm_b =
+    let bit12 = (u lsr 31) land 1
+    and bit11 = (u lsr 7) land 1
+    and bits10_5 = (u lsr 25) land 0x3F
+    and bits4_1 = (u lsr 8) land 0xF in
+    sign_extend ~bits:13
+      ((bit12 lsl 12) lor (bit11 lsl 11) lor (bits10_5 lsl 5) lor (bits4_1 lsl 1))
+  in
+  let imm_u = u land 0xFFFFF000 in
+  let imm_u_signed = sign_extend ~bits:32 imm_u in
+  let imm_j =
+    let bit20 = (u lsr 31) land 1
+    and bits19_12 = (u lsr 12) land 0xFF
+    and bit11 = (u lsr 20) land 1
+    and bits10_1 = (u lsr 21) land 0x3FF in
+    sign_extend ~bits:21
+      ((bit20 lsl 20) lor (bits19_12 lsl 12) lor (bit11 lsl 11) lor (bits10_1 lsl 1))
+  in
+  let bad fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match opcode with
+  | 0x33 -> begin
+    match (funct7, funct3) with
+    | 0x00, 0 -> Ok (Isa.Rtype (ADD, rd, rs1, rs2))
+    | 0x20, 0 -> Ok (Isa.Rtype (SUB, rd, rs1, rs2))
+    | 0x00, 1 -> Ok (Isa.Rtype (SLL, rd, rs1, rs2))
+    | 0x00, 2 -> Ok (Isa.Rtype (SLT, rd, rs1, rs2))
+    | 0x00, 3 -> Ok (Isa.Rtype (SLTU, rd, rs1, rs2))
+    | 0x00, 4 -> Ok (Isa.Rtype (XOR, rd, rs1, rs2))
+    | 0x00, 5 -> Ok (Isa.Rtype (SRL, rd, rs1, rs2))
+    | 0x20, 5 -> Ok (Isa.Rtype (SRA, rd, rs1, rs2))
+    | 0x00, 6 -> Ok (Isa.Rtype (OR, rd, rs1, rs2))
+    | 0x00, 7 -> Ok (Isa.Rtype (AND, rd, rs1, rs2))
+    | 0x01, 0 -> Ok (Isa.Rtype (MUL, rd, rs1, rs2))
+    | 0x01, 1 -> Ok (Isa.Rtype (MULH, rd, rs1, rs2))
+    | 0x01, 2 -> Ok (Isa.Rtype (MULHSU, rd, rs1, rs2))
+    | 0x01, 3 -> Ok (Isa.Rtype (MULHU, rd, rs1, rs2))
+    | 0x01, 4 -> Ok (Isa.Rtype (DIV, rd, rs1, rs2))
+    | 0x01, 5 -> Ok (Isa.Rtype (DIVU, rd, rs1, rs2))
+    | 0x01, 6 -> Ok (Isa.Rtype (REM, rd, rs1, rs2))
+    | 0x01, 7 -> Ok (Isa.Rtype (REMU, rd, rs1, rs2))
+    | _ -> bad "unsupported OP funct7/funct3: 0x%02x/%d" funct7 funct3
+  end
+  | 0x13 -> begin
+    match funct3 with
+    | 0 -> Ok (Isa.Itype (ADDI, rd, rs1, imm_i))
+    | 2 -> Ok (Isa.Itype (SLTI, rd, rs1, imm_i))
+    | 3 -> Ok (Isa.Itype (SLTIU, rd, rs1, imm_i))
+    | 4 -> Ok (Isa.Itype (XORI, rd, rs1, imm_i))
+    | 6 -> Ok (Isa.Itype (ORI, rd, rs1, imm_i))
+    | 7 -> Ok (Isa.Itype (ANDI, rd, rs1, imm_i))
+    | 1 ->
+      if funct7 = 0 then Ok (Isa.Itype (SLLI, rd, rs1, rs2))
+      else bad "unsupported SLLI funct7: 0x%02x" funct7
+    | 5 -> begin
+      match funct7 with
+      | 0x00 -> Ok (Isa.Itype (SRLI, rd, rs1, rs2))
+      | 0x20 -> Ok (Isa.Itype (SRAI, rd, rs1, rs2))
+      | _ -> bad "unsupported shift funct7: 0x%02x" funct7
+    end
+    | _ -> bad "unsupported OP-IMM funct3: %d" funct3
+  end
+  | 0x03 -> begin
+    match funct3 with
+    | 0 -> Ok (Isa.Load (LB, rd, rs1, imm_i))
+    | 1 -> Ok (Isa.Load (LH, rd, rs1, imm_i))
+    | 2 -> Ok (Isa.Load (LW, rd, rs1, imm_i))
+    | 4 -> Ok (Isa.Load (LBU, rd, rs1, imm_i))
+    | 5 -> Ok (Isa.Load (LHU, rd, rs1, imm_i))
+    | _ -> bad "unsupported LOAD funct3: %d" funct3
+  end
+  | 0x23 -> begin
+    match funct3 with
+    | 0 -> Ok (Isa.Store (SB, rs2, rs1, imm_s))
+    | 1 -> Ok (Isa.Store (SH, rs2, rs1, imm_s))
+    | 2 -> Ok (Isa.Store (SW, rs2, rs1, imm_s))
+    | _ -> bad "unsupported STORE funct3: %d" funct3
+  end
+  | 0x63 -> begin
+    match funct3 with
+    | 0 -> Ok (Isa.Branch (BEQ, rs1, rs2, imm_b))
+    | 1 -> Ok (Isa.Branch (BNE, rs1, rs2, imm_b))
+    | 4 -> Ok (Isa.Branch (BLT, rs1, rs2, imm_b))
+    | 5 -> Ok (Isa.Branch (BGE, rs1, rs2, imm_b))
+    | 6 -> Ok (Isa.Branch (BLTU, rs1, rs2, imm_b))
+    | 7 -> Ok (Isa.Branch (BGEU, rs1, rs2, imm_b))
+    | _ -> bad "unsupported BRANCH funct3: %d" funct3
+  end
+  | 0x37 -> Ok (Isa.Lui (rd, imm_u_signed))
+  | 0x17 -> Ok (Isa.Auipc (rd, imm_u_signed))
+  | 0x6F -> Ok (Isa.Jal (rd, imm_j))
+  | 0x67 ->
+    if funct3 = 0 then Ok (Isa.Jalr (rd, rs1, imm_i))
+    else bad "unsupported JALR funct3: %d" funct3
+  | 0x07 ->
+    if funct3 = 2 then Ok (Isa.Flw (rd, rs1, imm_i))
+    else bad "unsupported LOAD-FP funct3: %d" funct3
+  | 0x27 ->
+    if funct3 = 2 then Ok (Isa.Fsw (rs2, rs1, imm_s))
+    else bad "unsupported STORE-FP funct3: %d" funct3
+  | 0x53 -> begin
+    match funct7 with
+    | 0x00 -> Ok (Isa.Ftype (FADD, rd, rs1, rs2))
+    | 0x04 -> Ok (Isa.Ftype (FSUB, rd, rs1, rs2))
+    | 0x08 -> Ok (Isa.Ftype (FMUL, rd, rs1, rs2))
+    | 0x0C -> Ok (Isa.Ftype (FDIV, rd, rs1, rs2))
+    | 0x2C -> Ok (Isa.Ftype (FSQRT, rd, rs1, 0))
+    | 0x10 -> begin
+      match funct3 with
+      | 0 -> Ok (Isa.Ftype (FSGNJ, rd, rs1, rs2))
+      | 1 -> Ok (Isa.Ftype (FSGNJN, rd, rs1, rs2))
+      | 2 -> Ok (Isa.Ftype (FSGNJX, rd, rs1, rs2))
+      | _ -> bad "unsupported FSGNJ funct3: %d" funct3
+    end
+    | 0x14 -> begin
+      match funct3 with
+      | 0 -> Ok (Isa.Ftype (FMIN, rd, rs1, rs2))
+      | 1 -> Ok (Isa.Ftype (FMAX, rd, rs1, rs2))
+      | _ -> bad "unsupported FMIN/FMAX funct3: %d" funct3
+    end
+    | 0x50 -> begin
+      match funct3 with
+      | 0 -> Ok (Isa.Fcmp (FLE, rd, rs1, rs2))
+      | 1 -> Ok (Isa.Fcmp (FLT, rd, rs1, rs2))
+      | 2 -> Ok (Isa.Fcmp (FEQ, rd, rs1, rs2))
+      | _ -> bad "unsupported FCMP funct3: %d" funct3
+    end
+    | 0x60 ->
+      if rs2 = 0 then Ok (Isa.Fcvt_w_s (rd, rs1))
+      else bad "unsupported FCVT.W variant rs2: %d" rs2
+    | 0x68 ->
+      if rs2 = 0 then Ok (Isa.Fcvt_s_w (rd, rs1))
+      else bad "unsupported FCVT.S variant rs2: %d" rs2
+    | 0x70 -> Ok (Isa.Fmv_x_w (rd, rs1))
+    | 0x78 -> Ok (Isa.Fmv_w_x (rd, rs1))
+    | _ -> bad "unsupported OP-FP funct7: 0x%02x" funct7
+  end
+  | 0x73 -> begin
+    match imm_i with
+    | 0 -> Ok Isa.Ecall
+    | 1 -> Ok Isa.Ebreak
+    | _ -> bad "unsupported SYSTEM immediate: %d" imm_i
+  end
+  | 0x0F -> Ok Isa.Fence
+  | _ -> bad "unsupported opcode: 0x%02x" opcode
+
+let of_word_exn w =
+  match of_word w with
+  | Ok i -> i
+  | Error msg -> invalid_arg ("Decode.of_word_exn: " ^ msg)

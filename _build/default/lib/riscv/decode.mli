@@ -1,0 +1,14 @@
+(** Decoding 32-bit RISC-V instruction words back into {!Isa.t}.
+
+    This is the model of the decode stage that MESA's monitoring logic hooks
+    into (§4.1): the trace cache stores raw words and the LDFG builder decodes
+    them. [of_word] is a total function returning a [result] so that
+    unsupported encodings surface as a C2 violation rather than an
+    exception. *)
+
+val of_word : int32 -> (Isa.t, string) result
+(** [of_word w] decodes [w], or returns a human-readable reason why [w] is
+    not part of the supported RV32IMF subset. *)
+
+val of_word_exn : int32 -> Isa.t
+(** Like {!of_word} but raising [Invalid_argument] on undecodable words. *)

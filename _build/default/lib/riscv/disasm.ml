@@ -1,0 +1,2 @@
+let to_string i = Format.asprintf "%a" Isa.pp i
+let listing p = Format.asprintf "%a" Program.pp p

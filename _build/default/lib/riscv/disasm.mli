@@ -1,0 +1,7 @@
+(** Human-readable rendering of instructions and programs. *)
+
+val to_string : Isa.t -> string
+(** Assembly text of one instruction, e.g. ["add t0, t1, t2"]. *)
+
+val listing : Program.t -> string
+(** Full disassembly listing with addresses, labels and pragma markers. *)

@@ -1,0 +1,174 @@
+exception Unencodable of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unencodable s)) fmt
+
+let op_op = 0x33
+let op_imm = 0x13
+let op_load = 0x03
+let op_store = 0x23
+let op_branch = 0x63
+let op_lui = 0x37
+let op_auipc = 0x17
+let op_jal = 0x6F
+let op_jalr = 0x67
+let op_load_fp = 0x07
+let op_store_fp = 0x27
+let op_fp = 0x53
+let op_system = 0x73
+let op_misc_mem = 0x0F
+
+let imm12_fits imm = imm >= -2048 && imm <= 2047
+let branch_offset_fits off = off >= -4096 && off <= 4094 && off land 1 = 0
+let jal_offset_fits off = off >= -1048576 && off <= 1048574 && off land 1 = 0
+
+let check_reg kind r =
+  if not (Reg.valid r) then fail "%s register out of range: %d" kind r;
+  r
+
+let check_imm12 imm =
+  if not (imm12_fits imm) then fail "12-bit immediate out of range: %d" imm;
+  imm land 0xFFF
+
+let check_shamt imm =
+  if imm < 0 || imm > 31 then fail "shift amount out of range: %d" imm;
+  imm
+
+(* Field packers; all operate on plain ints and convert to int32 last. *)
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  (imm lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor opcode
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode =
+  let hi = (imm lsr 5) land 0x7F and lo = imm land 0x1F in
+  (hi lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (lo lsl 7) lor opcode
+
+let b_type ~off ~rs2 ~rs1 ~funct3 ~opcode =
+  let u = off land 0x1FFF in
+  let bit12 = (u lsr 12) land 1
+  and bits10_5 = (u lsr 5) land 0x3F
+  and bits4_1 = (u lsr 1) land 0xF
+  and bit11 = (u lsr 11) land 1 in
+  (bit12 lsl 31) lor (bits10_5 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15)
+  lor (funct3 lsl 12) lor (bits4_1 lsl 8) lor (bit11 lsl 7) lor opcode
+
+let u_type ~imm ~rd ~opcode = (imm land 0xFFFFF000) lor (rd lsl 7) lor opcode
+
+let j_type ~off ~rd ~opcode =
+  let u = off land 0x1FFFFF in
+  let bit20 = (u lsr 20) land 1
+  and bits10_1 = (u lsr 1) land 0x3FF
+  and bit11 = (u lsr 11) land 1
+  and bits19_12 = (u lsr 12) land 0xFF in
+  (bit20 lsl 31) lor (bits10_1 lsl 21) lor (bit11 lsl 20) lor (bits19_12 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let rop_fields : Isa.rop -> int * int = function
+  | ADD -> (0x00, 0) | SUB -> (0x20, 0) | SLL -> (0x00, 1) | SLT -> (0x00, 2)
+  | SLTU -> (0x00, 3) | XOR -> (0x00, 4) | SRL -> (0x00, 5) | SRA -> (0x20, 5)
+  | OR -> (0x00, 6) | AND -> (0x00, 7)
+  | MUL -> (0x01, 0) | MULH -> (0x01, 1) | MULHSU -> (0x01, 2) | MULHU -> (0x01, 3)
+  | DIV -> (0x01, 4) | DIVU -> (0x01, 5) | REM -> (0x01, 6) | REMU -> (0x01, 7)
+
+let bop_funct3 : Isa.bop -> int = function
+  | BEQ -> 0 | BNE -> 1 | BLT -> 4 | BGE -> 5 | BLTU -> 6 | BGEU -> 7
+
+let lop_funct3 : Isa.lop -> int = function
+  | LB -> 0 | LH -> 1 | LW -> 2 | LBU -> 4 | LHU -> 5
+
+let sop_funct3 : Isa.sop -> int = function SB -> 0 | SH -> 1 | SW -> 2
+
+(* rm=0b111 (dynamic) for rounding-mode-carrying FP ops; the selector ops
+   (sign-inject, min/max, compares) use funct3 as a selector instead. *)
+let rm_dyn = 0b111
+
+let fop_fields : Isa.fop -> int * int = function
+  | FADD -> (0x00, rm_dyn) | FSUB -> (0x04, rm_dyn) | FMUL -> (0x08, rm_dyn)
+  | FDIV -> (0x0C, rm_dyn) | FSQRT -> (0x2C, rm_dyn)
+  | FSGNJ -> (0x10, 0) | FSGNJN -> (0x10, 1) | FSGNJX -> (0x10, 2)
+  | FMIN -> (0x14, 0) | FMAX -> (0x14, 1)
+
+let fcmp_funct3 : Isa.fcmp -> int = function FLE -> 0 | FLT -> 1 | FEQ -> 2
+
+let encode_int (i : Isa.t) =
+  let reg = check_reg in
+  match i with
+  | Rtype (op, rd, rs1, rs2) ->
+    let funct7, funct3 = rop_fields op in
+    r_type ~funct7 ~rs2:(reg "rs2" rs2) ~rs1:(reg "rs1" rs1) ~funct3
+      ~rd:(reg "rd" rd) ~opcode:op_op
+  | Itype (op, rd, rs1, imm) ->
+    let rd = reg "rd" rd and rs1 = reg "rs1" rs1 in
+    let funct3, field =
+      match op with
+      | ADDI -> (0, check_imm12 imm)
+      | SLTI -> (2, check_imm12 imm)
+      | SLTIU -> (3, check_imm12 imm)
+      | XORI -> (4, check_imm12 imm)
+      | ORI -> (6, check_imm12 imm)
+      | ANDI -> (7, check_imm12 imm)
+      | SLLI -> (1, check_shamt imm)
+      | SRLI -> (5, check_shamt imm)
+      | SRAI -> (5, check_shamt imm lor 0x400)
+    in
+    i_type ~imm:field ~rs1 ~funct3 ~rd ~opcode:op_imm
+  | Load (op, rd, base, off) ->
+    i_type ~imm:(check_imm12 off) ~rs1:(reg "base" base)
+      ~funct3:(lop_funct3 op) ~rd:(reg "rd" rd) ~opcode:op_load
+  | Store (op, src, base, off) ->
+    s_type ~imm:(check_imm12 off) ~rs2:(reg "src" src) ~rs1:(reg "base" base)
+      ~funct3:(sop_funct3 op) ~opcode:op_store
+  | Branch (op, rs1, rs2, off) ->
+    if not (branch_offset_fits off) then fail "branch offset out of range: %d" off;
+    b_type ~off ~rs2:(reg "rs2" rs2) ~rs1:(reg "rs1" rs1)
+      ~funct3:(bop_funct3 op) ~opcode:op_branch
+  | Lui (rd, imm) ->
+    if imm land 0xFFF <> 0 then fail "lui immediate has nonzero low bits: %d" imm;
+    u_type ~imm ~rd:(reg "rd" rd) ~opcode:op_lui
+  | Auipc (rd, imm) ->
+    if imm land 0xFFF <> 0 then fail "auipc immediate has nonzero low bits: %d" imm;
+    u_type ~imm ~rd:(reg "rd" rd) ~opcode:op_auipc
+  | Jal (rd, off) ->
+    if not (jal_offset_fits off) then fail "jal offset out of range: %d" off;
+    j_type ~off ~rd:(reg "rd" rd) ~opcode:op_jal
+  | Jalr (rd, base, off) ->
+    i_type ~imm:(check_imm12 off) ~rs1:(reg "base" base) ~funct3:0
+      ~rd:(reg "rd" rd) ~opcode:op_jalr
+  | Ftype (FSQRT, fd, fs1, _) ->
+    r_type ~funct7:0x2C ~rs2:0 ~rs1:(reg "fs1" fs1) ~funct3:rm_dyn
+      ~rd:(reg "fd" fd) ~opcode:op_fp
+  | Ftype (op, fd, fs1, fs2) ->
+    let funct7, funct3 = fop_fields op in
+    r_type ~funct7 ~rs2:(reg "fs2" fs2) ~rs1:(reg "fs1" fs1) ~funct3
+      ~rd:(reg "fd" fd) ~opcode:op_fp
+  | Fcmp (op, rd, fs1, fs2) ->
+    r_type ~funct7:0x50 ~rs2:(reg "fs2" fs2) ~rs1:(reg "fs1" fs1)
+      ~funct3:(fcmp_funct3 op) ~rd:(reg "rd" rd) ~opcode:op_fp
+  | Flw (fd, base, off) ->
+    i_type ~imm:(check_imm12 off) ~rs1:(reg "base" base) ~funct3:2
+      ~rd:(reg "fd" fd) ~opcode:op_load_fp
+  | Fsw (fsrc, base, off) ->
+    s_type ~imm:(check_imm12 off) ~rs2:(reg "fsrc" fsrc) ~rs1:(reg "base" base)
+      ~funct3:2 ~opcode:op_store_fp
+  | Fcvt_w_s (rd, fs1) ->
+    (* rm = RTZ, matching the C semantics of (int) cast. *)
+    r_type ~funct7:0x60 ~rs2:0 ~rs1:(reg "fs1" fs1) ~funct3:0b001
+      ~rd:(reg "rd" rd) ~opcode:op_fp
+  | Fcvt_s_w (fd, rs1) ->
+    r_type ~funct7:0x68 ~rs2:0 ~rs1:(reg "rs1" rs1) ~funct3:rm_dyn
+      ~rd:(reg "fd" fd) ~opcode:op_fp
+  | Fmv_x_w (rd, fs1) ->
+    r_type ~funct7:0x70 ~rs2:0 ~rs1:(reg "fs1" fs1) ~funct3:0
+      ~rd:(reg "rd" rd) ~opcode:op_fp
+  | Fmv_w_x (fd, rs1) ->
+    r_type ~funct7:0x78 ~rs2:0 ~rs1:(reg "rs1" rs1) ~funct3:0
+      ~rd:(reg "fd" fd) ~opcode:op_fp
+  | Ecall -> i_type ~imm:0 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:op_system
+  | Ebreak -> i_type ~imm:1 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:op_system
+  | Fence -> i_type ~imm:0 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:op_misc_mem
+
+let to_word i = Int32.of_int (encode_int i land 0xFFFFFFFF)

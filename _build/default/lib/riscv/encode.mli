@@ -1,0 +1,26 @@
+(** Binary encoding of {!Isa.t} into 32-bit RISC-V instruction words.
+
+    Encodings follow the RISC-V unprivileged specification (RV32I, M and F
+    extensions). This is the format stored in the simulated instruction
+    memory and in MESA's trace cache, and is round-trippable through
+    {!Decode.of_word} — a property the test suite checks exhaustively. *)
+
+exception Unencodable of string
+(** Raised when an operand is out of range for its field, e.g. a 12-bit
+    immediate outside [\[-2048, 2047\]], a misaligned branch offset, or an
+    invalid register number. *)
+
+val to_word : Isa.t -> int32
+(** [to_word i] is the 32-bit little-endian instruction word for [i].
+    @raise Unencodable when an operand does not fit its field. *)
+
+val imm12_fits : int -> bool
+(** Whether an immediate fits the signed 12-bit I/S-type field. *)
+
+val branch_offset_fits : int -> bool
+(** Whether a byte offset fits the signed 13-bit B-type field (and is
+    2-byte aligned). *)
+
+val jal_offset_fits : int -> bool
+(** Whether a byte offset fits the signed 21-bit J-type field (and is
+    2-byte aligned). *)

@@ -1,0 +1,34 @@
+type table = Isa.op_class -> int
+
+let cpu : table = function
+  | Isa.C_alu -> 1
+  | Isa.C_mul -> 3
+  | Isa.C_div -> 20
+  | Isa.C_fadd -> 4
+  | Isa.C_fmul -> 4
+  | Isa.C_fdiv -> 16
+  | Isa.C_load -> 2 (* floor; the memory hierarchy supplies the real latency *)
+  | Isa.C_store -> 1
+  | Isa.C_branch -> 1
+  | Isa.C_jump -> 1
+  | Isa.C_system -> 1
+
+let accel : table = function
+  | Isa.C_alu -> 3
+  | Isa.C_mul -> 5
+  | Isa.C_div -> 24
+  | Isa.C_fadd -> 3
+  | Isa.C_fmul -> 5
+  | Isa.C_fdiv -> 24
+  | Isa.C_load -> 2 (* floor; the LSU supplies the measured AMAT *)
+  | Isa.C_store -> 2
+  | Isa.C_branch -> 1
+  | Isa.C_jump -> 1
+  | Isa.C_system -> 1
+
+let occupancy_cpu = function
+  | Isa.C_div -> 20
+  | Isa.C_fdiv -> 16
+  | Isa.C_alu | Isa.C_mul | Isa.C_fadd | Isa.C_fmul | Isa.C_load | Isa.C_store
+  | Isa.C_branch | Isa.C_jump | Isa.C_system ->
+    1

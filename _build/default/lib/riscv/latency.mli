@@ -1,0 +1,25 @@
+(** Operation latency tables (cycles from inputs available to output
+    produced), one per execution substrate.
+
+    The paper models node weights [L_i.op] as constants per operation type
+    unless measured otherwise (§3.1); these tables are those constants. The
+    accelerator PEs are simpler and clocked differently than the OoO core's
+    functional units, hence the distinct presets: the worked example of
+    Figure 2 (add = 3, mul = 5) is the accelerator table. *)
+
+type table = Isa.op_class -> int
+
+val cpu : table
+(** Out-of-order core functional-unit latencies: 1-cycle ALU, pipelined
+    3-cycle multiply, 20-cycle divide, 4-cycle FP add/mul, 16-cycle FP
+    divide/sqrt. Loads/stores return the cache-port latency floor (the
+    hierarchy supplies the real number). *)
+
+val accel : table
+(** Spatial-accelerator PE latencies, matching Figure 2: 3-cycle integer
+    ALU, 5-cycle multiplier, 3-cycle FP add, 5-cycle FP multiply, longer
+    iterative divide/sqrt. *)
+
+val occupancy_cpu : Isa.op_class -> int
+(** Cycles a CPU functional unit stays busy per operation (1 for pipelined
+    units; full latency for the iterative dividers). *)

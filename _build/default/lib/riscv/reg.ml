@@ -1,0 +1,88 @@
+type t = int
+
+let count = 32
+let valid r = r >= 0 && r < count
+
+let zero = 0
+let ra = 1
+let sp = 2
+let gp = 3
+let tp = 4
+let t0 = 5
+let t1 = 6
+let t2 = 7
+let s0 = 8
+let fp = 8
+let s1 = 9
+let a0 = 10
+let a1 = 11
+let a2 = 12
+let a3 = 13
+let a4 = 14
+let a5 = 15
+let a6 = 16
+let a7 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let s8 = 24
+let s9 = 25
+let s10 = 26
+let s11 = 27
+let t3 = 28
+let t4 = 29
+let t5 = 30
+let t6 = 31
+
+let ft0 = 0
+let ft1 = 1
+let ft2 = 2
+let ft3 = 3
+let ft4 = 4
+let ft5 = 5
+let ft6 = 6
+let ft7 = 7
+let fs0 = 8
+let fs1 = 9
+let fa0 = 10
+let fa1 = 11
+let fa2 = 12
+let fa3 = 13
+let fa4 = 14
+let fa5 = 15
+let fa6 = 16
+let fa7 = 17
+let fs2 = 18
+let fs3 = 19
+let fs4 = 20
+let fs5 = 21
+let fs6 = 22
+let fs7 = 23
+let fs8 = 24
+let fs9 = 25
+let fs10 = 26
+let fs11 = 27
+let ft8 = 28
+let ft9 = 29
+let ft10 = 30
+let ft11 = 31
+
+let int_names =
+  [| "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2"; "s0"; "s1"; "a0"; "a1";
+     "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+     "s8"; "s9"; "s10"; "s11"; "t3"; "t4"; "t5"; "t6" |]
+
+let fp_names =
+  [| "ft0"; "ft1"; "ft2"; "ft3"; "ft4"; "ft5"; "ft6"; "ft7"; "fs0"; "fs1";
+     "fa0"; "fa1"; "fa2"; "fa3"; "fa4"; "fa5"; "fa6"; "fa7"; "fs2"; "fs3";
+     "fs4"; "fs5"; "fs6"; "fs7"; "fs8"; "fs9"; "fs10"; "fs11"; "ft8"; "ft9";
+     "ft10"; "ft11" |]
+
+let name r =
+  if valid r then int_names.(r) else Printf.sprintf "x?%d" r
+
+let fname r =
+  if valid r then fp_names.(r) else Printf.sprintf "f?%d" r

@@ -1,0 +1,93 @@
+(** Architectural register numbers and ABI names for RV32.
+
+    Integer and floating-point registers are both plain ints in [\[0, 31\]];
+    the two files are distinguished by context (an [Isa.t] constructor says
+    which file each operand lives in). The ABI constants below make the
+    assembler DSL kernels readable. *)
+
+type t = int
+(** A register number; valid values are 0..31. *)
+
+val count : int
+(** Number of registers per file (32). *)
+
+val valid : t -> bool
+(** [valid r] iff [0 <= r < 32]. *)
+
+(** {1 Integer ABI names} *)
+
+val zero : t
+val ra : t
+val sp : t
+val gp : t
+val tp : t
+val t0 : t
+val t1 : t
+val t2 : t
+val s0 : t
+val fp : t (** alias of [s0] *)
+
+val s1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val a4 : t
+val a5 : t
+val a6 : t
+val a7 : t
+val s2 : t
+val s3 : t
+val s4 : t
+val s5 : t
+val s6 : t
+val s7 : t
+val s8 : t
+val s9 : t
+val s10 : t
+val s11 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+
+(** {1 Floating-point ABI names} *)
+
+val ft0 : t
+val ft1 : t
+val ft2 : t
+val ft3 : t
+val ft4 : t
+val ft5 : t
+val ft6 : t
+val ft7 : t
+val fs0 : t
+val fs1 : t
+val fa0 : t
+val fa1 : t
+val fa2 : t
+val fa3 : t
+val fa4 : t
+val fa5 : t
+val fa6 : t
+val fa7 : t
+val fs2 : t
+val fs3 : t
+val fs4 : t
+val fs5 : t
+val fs6 : t
+val fs7 : t
+val fs8 : t
+val fs9 : t
+val fs10 : t
+val fs11 : t
+val ft8 : t
+val ft9 : t
+val ft10 : t
+val ft11 : t
+
+val name : t -> string
+(** ABI name of an integer register, e.g. [name 10 = "a0"]. *)
+
+val fname : t -> string
+(** ABI name of a floating-point register, e.g. [fname 10 = "fa0"]. *)

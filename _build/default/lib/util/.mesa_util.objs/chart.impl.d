@@ -1,0 +1,1 @@
+lib/util/chart.ml: Array Buffer Bytes Float List Printf String

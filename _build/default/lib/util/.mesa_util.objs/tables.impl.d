@@ -1,0 +1,1 @@
+lib/util/tables.ml: Array Buffer List Printf String

@@ -1,0 +1,59 @@
+let scale_for ~width values =
+  let vmax = List.fold_left Float.max 0.0 values in
+  if vmax <= 0.0 then 0.0 else float_of_int width /. vmax
+
+let bar ~scale v = String.make (max 0 (int_of_float (Float.round (v *. scale)))) '#'
+
+let bars ?(width = 50) ?baseline ~title series =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  let scale = scale_for ~width (List.map snd series) in
+  let marker =
+    match baseline with
+    | Some b when scale > 0.0 -> Some (int_of_float (Float.round (b *. scale)))
+    | _ -> None
+  in
+  List.iter
+    (fun (label, v) ->
+      let b = Bytes.of_string (bar ~scale v ^ String.make width ' ') in
+      (match marker with
+      | Some m when m >= 0 && m < Bytes.length b -> Bytes.set b m '|'
+      | _ -> ());
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s %s %.2f\n" label_w label
+           (String.trim (Bytes.to_string b) |> fun s -> Printf.sprintf "%-*s" width s)
+           v))
+    series;
+  Buffer.contents buf
+
+let glyphs = [| '#'; '='; '-'; '+'; '*' |]
+
+let grouped ?(width = 50) ~title ~series_names rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i name ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%c] %s\n" glyphs.(i mod Array.length glyphs) name))
+    series_names;
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows in
+  let scale = scale_for ~width (List.concat_map snd rows) in
+  List.iter
+    (fun (label, values) ->
+      List.iteri
+        (fun i v ->
+          let g = glyphs.(i mod Array.length glyphs) in
+          let b = String.make (max 0 (int_of_float (Float.round (v *. scale)))) g in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %-*s %.2f\n"
+               label_w
+               (if i = 0 then label else "")
+               width b v))
+        values)
+    rows;
+  Buffer.contents buf

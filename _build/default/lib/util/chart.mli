@@ -1,0 +1,19 @@
+(** Horizontal ASCII bar charts, for rendering the paper's figures as
+    pictures next to their numeric tables. *)
+
+val bars :
+  ?width:int -> ?baseline:float -> title:string -> (string * float) list -> string
+(** [bars ~title series] renders one bar per (label, value). Values are
+    scaled so the largest bar spans [width] characters (default 50). When
+    [baseline] is given, a marker [|] is drawn at that value's position
+    (e.g. the 1.0x line of a speedup chart). Returns a multi-line string
+    ending in a newline; the empty series renders just the title. *)
+
+val grouped :
+  ?width:int ->
+  title:string ->
+  series_names:string list ->
+  (string * float list) list ->
+  string
+(** Multi-series variant: each row carries one bar per series, tagged with
+    the series' index glyph. Used for figures comparing M-128 vs M-512. *)

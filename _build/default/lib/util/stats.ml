@@ -1,0 +1,49 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    let rank = max 0 (min (n - 1) rank) in
+    List.nth sorted rank
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+let iclamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+let div_ceil a b = (a + b - 1) / b
+
+module Running = struct
+  type t = { mutable sum : float; mutable count : int }
+
+  let create () = { sum = 0.0; count = 0 }
+
+  let add t x =
+    t.sum <- t.sum +. x;
+    t.count <- t.count + 1
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let mean_or t default = if t.count = 0 then default else mean t
+
+  let reset t =
+    t.sum <- 0.0;
+    t.count <- 0
+end

@@ -1,0 +1,45 @@
+(** Small statistics helpers shared by the timing models and the experiment
+    harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; the paper reports cross-benchmark averages of speedup
+    ratios, for which the geometric mean is the appropriate aggregate.
+    0 on the empty list; all inputs must be positive. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on the sorted
+    list. Raises [Invalid_argument] on the empty list. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp a float into [\[lo, hi\]]. *)
+
+val iclamp : lo:int -> hi:int -> int -> int
+(** Clamp an int into [\[lo, hi\]]. *)
+
+val div_ceil : int -> int -> int
+(** [div_ceil a b] is ceil(a / b) for positive [b]. *)
+
+(** Online accumulator for mean over a stream of samples, used by the
+    per-instruction latency counters (the hardware tallies sum and count). *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val mean : t -> float
+  (** 0 before any sample has been added. *)
+
+  val mean_or : t -> float -> float
+  (** [mean_or t default] is the mean, or [default] before any sample. *)
+
+  val reset : t -> unit
+end

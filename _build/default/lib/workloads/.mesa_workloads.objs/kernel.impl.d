@@ -1,0 +1,1 @@
+lib/workloads/kernel.ml: Array Float Machine Main_memory Printf Prng Program Reg

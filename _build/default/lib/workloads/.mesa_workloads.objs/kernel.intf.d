@@ -1,0 +1,1 @@
+lib/workloads/kernel.mli: Machine Main_memory Prng Program Reg

@@ -1,0 +1,1 @@
+lib/workloads/kernel_hotspot.ml: Array Asm Kernel Main_memory Option Prng Program Reg

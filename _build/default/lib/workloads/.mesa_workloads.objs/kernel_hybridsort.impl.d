@@ -1,0 +1,1 @@
+lib/workloads/kernel_hybridsort.ml: Array Asm Kernel Main_memory Prng Reg

@@ -1,0 +1,1 @@
+lib/workloads/kernel_kmeans.ml: Array Asm Kernel List Main_memory Printf Prng Program Reg

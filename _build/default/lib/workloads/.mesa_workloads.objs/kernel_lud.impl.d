@@ -1,0 +1,1 @@
+lib/workloads/kernel_lud.ml: Array Asm Kernel Main_memory Prng Program Reg

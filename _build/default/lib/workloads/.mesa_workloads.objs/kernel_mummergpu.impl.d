@@ -1,0 +1,1 @@
+lib/workloads/kernel_mummergpu.ml: Array Asm Kernel List Main_memory Prng Program Reg

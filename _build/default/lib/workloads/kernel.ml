@@ -1,0 +1,58 @@
+type t = {
+  name : string;
+  description : string;
+  parallel : bool;
+  fp : bool;
+  n : int;
+  program : Program.t;
+  setup : Main_memory.t -> unit;
+  args : lo:int -> hi:int -> (Reg.t * int) list;
+  fargs : (Reg.t * float) list;
+  check : Main_memory.t -> (unit, string) result;
+}
+
+let prepare k mem =
+  k.setup mem;
+  let machine = Machine.create ~pc:(Program.entry k.program) mem in
+  Machine.set_args machine (k.args ~lo:0 ~hi:k.n);
+  Machine.set_fargs machine k.fargs;
+  machine
+
+let prepare_slice k mem ~lo ~hi =
+  let machine = Machine.create ~pc:(Program.entry k.program) mem in
+  Machine.set_args machine (k.args ~lo ~hi);
+  Machine.set_fargs machine k.fargs;
+  machine
+
+let r32 = Machine.round32
+let float_input rng = r32 (Prng.float_in rng (-2.0) 2.0)
+
+let check_words mem ~addr ~expected =
+  let n = Array.length expected in
+  let rec go i =
+    if i = n then Ok ()
+    else
+      let got = Main_memory.load_word mem (addr + (4 * i)) in
+      if got = expected.(i) then go (i + 1)
+      else
+        Error
+          (Printf.sprintf "word %d at 0x%x: expected %d, got %d" i (addr + (4 * i))
+             expected.(i) got)
+  in
+  go 0
+
+let check_floats mem ~addr ~expected =
+  let n = Array.length expected in
+  let rec go i =
+    if i = n then Ok ()
+    else
+      let got = Main_memory.load_float32 mem (addr + (4 * i)) in
+      let want = expected.(i) in
+      let same = got = want || (Float.is_nan got && Float.is_nan want) in
+      if same then go (i + 1)
+      else
+        Error
+          (Printf.sprintf "float %d at 0x%x: expected %.9g, got %.9g" i (addr + (4 * i))
+             want got)
+  in
+  go 0

@@ -1,0 +1,39 @@
+let all () =
+  [
+    Kernel_backprop.make ();
+    Kernel_bfs.make ();
+    Kernel_btree.make ();
+    Kernel_cfd.make ();
+    Kernel_gaussian.make ();
+    Kernel_heartwall.make ();
+    Kernel_hotspot.make ();
+    Kernel_hybridsort.make ();
+    Kernel_kmeans.make ();
+    Kernel_lavamd.make ();
+    Kernel_leukocyte.make ();
+    Kernel_lud.make ();
+    Kernel_mummergpu.make ();
+    Kernel_myocyte.make ();
+    Kernel_nn.make ();
+    Kernel_nw.make ();
+    Kernel_particlefilter.make ();
+    Kernel_pathfinder.make ();
+    Kernel_srad.make ();
+    Kernel_streamcluster.make ();
+  ]
+
+let find name =
+  match List.find_opt (fun k -> k.Kernel.name = name) (all ()) with
+  | Some k -> k
+  | None -> raise Not_found
+
+let names () = List.map (fun k -> k.Kernel.name) (all ())
+
+let opencgra_compatible () =
+  List.map find
+    [ "backprop"; "btree"; "cfd"; "gaussian"; "hotspot"; "lud"; "nn"; "streamcluster" ]
+
+let dynaspam_shared () =
+  List.map find [ "backprop"; "bfs"; "cfd"; "hotspot"; "kmeans"; "lud"; "nn"; "nw" ]
+
+let nn ?n () = Kernel_nn.make ?n ()

@@ -1,0 +1,20 @@
+(** Registry of all benchmark kernels used by the evaluation. *)
+
+val all : unit -> Kernel.t list
+(** The full 20-kernel Rodinia suite at default sizes, in alphabetical
+    order. *)
+
+val find : string -> Kernel.t
+(** Lookup by name. Raises [Not_found] on an unknown name. *)
+
+val names : unit -> string list
+
+val opencgra_compatible : unit -> Kernel.t list
+(** The eight kernels used for the OpenCGRA comparison (Figure 12) — the
+    ones without predicated bodies, which the baseline scheduler handles. *)
+
+val dynaspam_shared : unit -> Kernel.t list
+(** Kernels shared with the DynaSpAM evaluation (Figure 14). *)
+
+val nn : ?n:int -> unit -> Kernel.t
+(** The PE-scaling kernel (Figure 15) at a custom size. *)

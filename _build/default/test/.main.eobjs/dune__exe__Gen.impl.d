@@ -1,0 +1,1 @@
+test/gen.ml: Array Asm Format Gen Isa List Machine Main_memory Printf Prng Program QCheck2 Reg String

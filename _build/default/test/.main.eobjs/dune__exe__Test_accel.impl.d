@@ -1,0 +1,1 @@
+test/test_accel.ml: Accel_config Activity Alcotest Array Dfg Grid Hashtbl Interconnect Isa Ldfg List Mapper Option Perf_model Placement Region Result

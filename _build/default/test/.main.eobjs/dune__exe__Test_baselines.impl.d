@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Dfg Dynaspam Grid Hashtbl Kernel List Opencgra Result Runner Workloads

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Asm Cpu_run Hierarchy Interp Isa List Machine Main_memory Ooo_model Predictor Program Reg

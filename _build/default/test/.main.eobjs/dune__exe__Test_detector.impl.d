@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Asm Int32 Interp Kernel List Loop_detector Machine Main_memory Program Reg Region String Trace_cache Workloads

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array Dfg Format Isa Latency List Perf_model Result String

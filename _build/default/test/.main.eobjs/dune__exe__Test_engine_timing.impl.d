@@ -1,0 +1,1 @@
+test/test_engine_timing.ml: Accel_config Activity Alcotest Engine Grid Hierarchy Interconnect Kernel List Main_memory Mapper Option Perf_model Result Runner Workloads

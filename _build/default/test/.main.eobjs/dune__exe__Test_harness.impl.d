@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Controller Dfg Experiments Kernel List Main_memory Multicore Ooo_model Runner String Tables Workloads

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Asm Float Gen Int64 Interp Isa List Machine Main_memory Program QCheck2 QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_ldfg.ml: Alcotest Array Dfg Gen Isa Ldfg List Printf Program QCheck2 QCheck_alcotest Region Rename_table Result

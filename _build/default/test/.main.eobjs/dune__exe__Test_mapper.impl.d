@@ -1,0 +1,1 @@
+test/test_mapper.ml: Alcotest Array Asm Dfg Gen Grid Interconnect Isa Kernel Ldfg List Mapper Perf_model Placement Printf Program QCheck2 QCheck_alcotest Reg Region Result Runner Workloads

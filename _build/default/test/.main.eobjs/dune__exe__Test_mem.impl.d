@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Cache Contention Hierarchy List Machine Main_memory Prng

@@ -1,0 +1,1 @@
+test/test_power.ml: Activity Alcotest Area_model Energy_model Grid List Ooo_model

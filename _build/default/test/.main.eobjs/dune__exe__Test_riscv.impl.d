@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Asm Decode Disasm Encode Format Gen Interp Isa Latency List Machine Main_memory Printf Program QCheck2 QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_rv64.ml: Alcotest Array Dfg Encode Float Format Grid Int64 Interconnect Interp Isa List Main_memory Mapper Perf_model Printf Prng Result Runner Rv64 Schedule_view String Workloads

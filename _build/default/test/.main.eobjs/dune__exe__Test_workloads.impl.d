@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Dfg Interp Isa Kernel Ldfg List Main_memory Mem_opt Program Region Result Runner Workloads

@@ -1,0 +1,27 @@
+(* Aggregate alcotest runner for the whole repository. *)
+let () =
+  Alcotest.run "mesa"
+    (List.concat
+       [
+         Test_util.suites;
+         Test_riscv.suites;
+         Test_interp.suites;
+         Test_mem.suites;
+         Test_cpu.suites;
+         Test_dfg.suites;
+         Test_ldfg.suites;
+         Test_accel.suites;
+         Test_mapper.suites;
+         Test_engine.suites;
+         Test_detector.suites;
+         Test_controller.suites;
+         Test_baselines.suites;
+         Test_power.suites;
+         Test_workloads.suites;
+         Test_harness.suites;
+         Test_extensions.suites;
+         Test_robustness.suites;
+         Test_engine_timing.suites;
+         Test_rv64.suites;
+         Test_cse.suites;
+       ])

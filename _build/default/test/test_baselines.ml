@@ -1,0 +1,125 @@
+let check = Alcotest.check
+
+(* -------------------- OpenCGRA modulo scheduler -------------------- *)
+
+let schedule_of name =
+  let dfg = Runner.dfg_of_kernel (Workloads.find name) in
+  (dfg, Result.get_ok (Opencgra.schedule dfg ~grid:Grid.m128))
+
+let opencgra_mii_bounds () =
+  let dfg, s = schedule_of "nn" in
+  check Alcotest.bool "II >= resource MII" true
+    (s.Opencgra.ii >= Opencgra.resource_mii dfg ~pes:(Grid.pe_count Grid.m128));
+  check Alcotest.bool "II >= recurrence MII" true (s.Opencgra.ii >= Opencgra.recurrence_mii dfg);
+  check Alcotest.bool "makespan >= II" true (s.Opencgra.makespan >= s.Opencgra.ii)
+
+let opencgra_schedule_validity () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      let dfg = Runner.dfg_of_kernel k in
+      match Opencgra.schedule dfg ~grid:Grid.m128 with
+      | Error e -> Alcotest.failf "%s: %s" k.Kernel.name e
+      | Ok s ->
+        (* No two ops share a (PE, slot mod II). *)
+        let seen = Hashtbl.create 64 in
+        Array.iteri
+          (fun i (pe, t) ->
+            let key = (pe, t mod s.Opencgra.ii) in
+            if Hashtbl.mem seen key then
+              Alcotest.failf "%s: node %d double-books %d/%d" k.Kernel.name i pe
+                (t mod s.Opencgra.ii);
+            Hashtbl.replace seen key ())
+          s.Opencgra.slots;
+        (* Dependencies respect schedule order. *)
+        Array.iteri
+          (fun j nd ->
+            Array.iter
+              (function
+                | Dfg.Node i ->
+                  let _, ti = s.Opencgra.slots.(i) and _, tj = s.Opencgra.slots.(j) in
+                  if tj <= ti then
+                    Alcotest.failf "%s: node %d scheduled before producer %d" k.Kernel.name j i
+                | Dfg.Reg_in _ -> ())
+              nd.Dfg.srcs)
+          dfg.Dfg.nodes)
+    (Workloads.opencgra_compatible ())
+
+let opencgra_small_grid_raises_ii () =
+  let dfg = Runner.dfg_of_kernel (Workloads.find "kmeans") in
+  let small = Grid.make ~rows:2 ~cols:2 () in
+  let s_small = Result.get_ok (Opencgra.schedule dfg ~grid:small) in
+  let s_big = Result.get_ok (Opencgra.schedule dfg ~grid:Grid.m128) in
+  check Alcotest.bool "fewer PEs, larger II" true (s_small.Opencgra.ii > s_big.Opencgra.ii);
+  check Alcotest.bool "resource MII reflects PEs" true
+    (s_small.Opencgra.ii >= Opencgra.resource_mii dfg ~pes:4)
+
+let opencgra_recurrence_floor () =
+  let dfg = Runner.dfg_of_kernel (Workloads.find "nw") in
+  (* nw carries a running max through registers: the recurrence bound must
+     exceed the trivial 1. *)
+  check Alcotest.bool "recurrence MII > 1" true (Opencgra.recurrence_mii dfg > 1)
+
+let opencgra_ipc_definition () =
+  let dfg, s = schedule_of "gaussian" in
+  check (Alcotest.float 1e-9) "ipc = nodes / makespan"
+    (float_of_int (Dfg.node_count dfg) /. float_of_int s.Opencgra.makespan)
+    (Opencgra.ipc dfg s)
+
+(* -------------------- DynaSpAM -------------------- *)
+
+let dynaspam_qualification () =
+  let nn = Runner.dfg_of_kernel (Workloads.find "nn") in
+  let kmeans = Runner.dfg_of_kernel (Workloads.find "kmeans") in
+  let cfg = { Dynaspam.default_config with Dynaspam.window = 24 } in
+  let r_nn = Dynaspam.run ~config:cfg nn ~iterations:100 in
+  let r_km = Dynaspam.run ~config:cfg kmeans ~iterations:100 in
+  check Alcotest.bool "nn qualifies" true r_nn.Dynaspam.qualified;
+  check Alcotest.bool "kmeans exceeds the window" false r_km.Dynaspam.qualified
+
+let dynaspam_analytic_model () =
+  let dfg = Runner.dfg_of_kernel (Workloads.find "nn") in
+  let r100 = Dynaspam.run dfg ~iterations:100 in
+  let r200 = Dynaspam.run dfg ~iterations:200 in
+  check Alcotest.bool "ii at least 1" true (r100.Dynaspam.ii >= 1.0);
+  (* Steady state: cycles grow by II per extra iteration. *)
+  check Alcotest.bool "linear growth" true
+    (abs (r200.Dynaspam.cycles - r100.Dynaspam.cycles
+         - int_of_float (100.0 *. r100.Dynaspam.ii))
+    <= 2);
+  (* nn's fsqrt occupies the divider: II reflects it. *)
+  check Alcotest.bool "iterative unit bound" true
+    (r100.Dynaspam.ii >= float_of_int Dynaspam.default_config.Dynaspam.div_occupancy /. 2.0)
+
+let dynaspam_runner_measurement () =
+  let k = Workloads.find "nn" in
+  let base = Runner.single_core k in
+  let dyn = Runner.dynaspam k in
+  (* nn is memory/latency bound, so the fabric roughly ties the core; the
+     +300-cycle control-transfer overhead is the only slack allowed. *)
+  check Alcotest.bool "ties or beats the core" true
+    (dyn.Runner.cycles <= base.Runner.cycles + 400);
+  check Alcotest.bool "outputs correct" true (dyn.Runner.checked = Ok ());
+  let km =
+    Runner.dynaspam
+      ~config:{ Dynaspam.default_config with Dynaspam.window = 24 }
+      (Workloads.find "kmeans")
+  in
+  check Alcotest.string "unqualified falls back" "DynaSpAM (not qualified)" km.Runner.label
+
+let suites =
+  [
+    ( "opencgra",
+      [
+        Alcotest.test_case "MII bounds" `Quick opencgra_mii_bounds;
+        Alcotest.test_case "schedule validity" `Quick opencgra_schedule_validity;
+        Alcotest.test_case "small grid raises II" `Quick opencgra_small_grid_raises_ii;
+        Alcotest.test_case "recurrence floor" `Quick opencgra_recurrence_floor;
+        Alcotest.test_case "ipc definition" `Quick opencgra_ipc_definition;
+      ] );
+    ( "dynaspam",
+      [
+        Alcotest.test_case "qualification window" `Quick dynaspam_qualification;
+        Alcotest.test_case "analytic model" `Quick dynaspam_analytic_model;
+        Alcotest.test_case "runner measurement" `Quick dynaspam_runner_measurement;
+      ] );
+  ]

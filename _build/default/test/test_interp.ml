@@ -1,0 +1,289 @@
+let check = Alcotest.check
+let s32 = Machine.to_s32
+
+(* -------------------- machine state -------------------- *)
+
+let machine_x0_hardwired () =
+  let m = Machine.create (Main_memory.create ~size:4096 ()) in
+  Machine.set_x m 0 123;
+  check Alcotest.int "x0 stays zero" 0 (Machine.get_x m 0)
+
+let machine_sign_extension () =
+  let m = Machine.create (Main_memory.create ~size:4096 ()) in
+  Machine.set_x m 1 0xFFFFFFFF;
+  check Alcotest.int "write sign-extends" (-1) (Machine.get_x m 1);
+  Machine.set_x m 1 0x80000000;
+  check Alcotest.int "min int32" (-2147483648) (Machine.get_x m 1)
+
+let machine_fp_rounding () =
+  let m = Machine.create (Main_memory.create ~size:4096 ()) in
+  Machine.set_f m 0 0.1;
+  check Alcotest.bool "0.1 rounded to single" true (Machine.get_f m 0 <> 0.1);
+  check (Alcotest.float 1e-8) "close to 0.1" 0.1 (Machine.get_f m 0)
+
+let machine_copy_and_equal () =
+  let m = Machine.create (Main_memory.create ~size:4096 ()) in
+  Machine.set_x m 5 42;
+  let c = Machine.copy m () in
+  check Alcotest.bool "copies equal" true (Machine.arch_equal m c);
+  Machine.set_x c 5 43;
+  check Alcotest.bool "diverged" false (Machine.arch_equal m c)
+
+(* -------------------- integer ALU semantics -------------------- *)
+
+let alu_add_sub_wrap () =
+  check Alcotest.int "add wrap" (-2147483648) (Interp.Alu.rtype Isa.ADD 0x7FFFFFFF 1);
+  check Alcotest.int "sub wrap" 0x7FFFFFFF (Interp.Alu.rtype Isa.SUB (-2147483648) 1)
+
+let alu_shifts () =
+  check Alcotest.int "sll" 16 (Interp.Alu.rtype Isa.SLL 1 4);
+  check Alcotest.int "sll masks shamt" 2 (Interp.Alu.rtype Isa.SLL 1 33);
+  check Alcotest.int "srl sign bit" 0x7FFFFFFF (Interp.Alu.rtype Isa.SRL (-1) 1);
+  check Alcotest.int "sra keeps sign" (-1) (Interp.Alu.rtype Isa.SRA (-1) 1);
+  check Alcotest.int "sra halves" (-4) (Interp.Alu.rtype Isa.SRA (-8) 1)
+
+let alu_compare () =
+  check Alcotest.int "slt signed" 1 (Interp.Alu.rtype Isa.SLT (-1) 0);
+  check Alcotest.int "sltu unsigned" 0 (Interp.Alu.rtype Isa.SLTU (-1) 0);
+  check Alcotest.int "sltu small" 1 (Interp.Alu.rtype Isa.SLTU 0 (-1))
+
+let alu_mul_family () =
+  check Alcotest.int "mul low" (s32 (123456 * 654321)) (Interp.Alu.rtype Isa.MUL 123456 654321);
+  check Alcotest.int "mulh" 0 (Interp.Alu.rtype Isa.MULH 2 3);
+  check Alcotest.int "mulh big" 1 (Interp.Alu.rtype Isa.MULH 0x40000000 4);
+  check Alcotest.int "mulh negative" (-1) (Interp.Alu.rtype Isa.MULH (-2) 0x40000000);
+  check Alcotest.int "mulhu max" (s32 0xFFFFFFFE) (Interp.Alu.rtype Isa.MULHU (-1) (-1));
+  check Alcotest.int "mulhsu" (-1) (Interp.Alu.rtype Isa.MULHSU (-1) (-1))
+
+let alu_div_rem_edge_cases () =
+  check Alcotest.int "div" (-7) (Interp.Alu.rtype Isa.DIV 22 (-3));
+  check Alcotest.int "div by zero" (-1) (Interp.Alu.rtype Isa.DIV 5 0);
+  check Alcotest.int "div overflow" (-2147483648)
+    (Interp.Alu.rtype Isa.DIV (-2147483648) (-1));
+  check Alcotest.int "rem" 1 (Interp.Alu.rtype Isa.REM 22 (-3));
+  check Alcotest.int "rem by zero" 5 (Interp.Alu.rtype Isa.REM 5 0);
+  check Alcotest.int "rem overflow" 0 (Interp.Alu.rtype Isa.REM (-2147483648) (-1));
+  check Alcotest.int "divu by zero" (-1) (Interp.Alu.rtype Isa.DIVU 5 0);
+  check Alcotest.int "divu" 0x7FFFFFFF (Interp.Alu.rtype Isa.DIVU (-2) 2);
+  check Alcotest.int "remu" 1 (Interp.Alu.rtype Isa.REMU (-1) 2)
+
+let alu_reference =
+  (* Cross-check 32-bit semantics against an Int64 reference model. *)
+  QCheck2.Test.make ~name:"rtype vs int64 reference" ~count:2000
+    QCheck2.Gen.(triple Gen.rop (int_range (-2147483648) 2147483647) (int_range (-2147483648) 2147483647))
+    (fun (op, a, b) ->
+      let got = Interp.Alu.rtype op a b in
+      let a64 = Int64.of_int a and b64 = Int64.of_int b in
+      let to32 v = Int64.to_int (Int64.of_int32 (Int64.to_int32 v)) in
+      let expected =
+        match op with
+        | Isa.ADD -> Some (to32 (Int64.add a64 b64))
+        | Isa.SUB -> Some (to32 (Int64.sub a64 b64))
+        | Isa.XOR -> Some (to32 (Int64.logxor a64 b64))
+        | Isa.OR -> Some (to32 (Int64.logor a64 b64))
+        | Isa.AND -> Some (to32 (Int64.logand a64 b64))
+        | Isa.MUL -> Some (to32 (Int64.mul a64 b64))
+        | Isa.SLT -> Some (if a < b then 1 else 0)
+        | _ -> None
+      in
+      match expected with Some e -> got = e | None -> got >= -2147483648 && got <= 2147483647)
+
+(* -------------------- FP semantics -------------------- *)
+
+let fp_min_max_nan () =
+  let nan = Float.nan in
+  check (Alcotest.float 0.0) "fmin nan left" 2.0 (Interp.Alu.ftype Isa.FMIN nan 2.0);
+  check (Alcotest.float 0.0) "fmax nan right" 2.0 (Interp.Alu.ftype Isa.FMAX 2.0 nan);
+  check (Alcotest.float 0.0) "fmin" 1.0 (Interp.Alu.ftype Isa.FMIN 1.0 2.0);
+  check (Alcotest.float 0.0) "fmax" 2.0 (Interp.Alu.ftype Isa.FMAX 1.0 2.0)
+
+let fp_sign_injection () =
+  check (Alcotest.float 0.0) "fsgnj" (-3.0) (Interp.Alu.ftype Isa.FSGNJ 3.0 (-1.0));
+  check (Alcotest.float 0.0) "fsgnjn" 3.0 (Interp.Alu.ftype Isa.FSGNJN 3.0 (-1.0));
+  check (Alcotest.float 0.0) "fsgnjx" (-3.0) (Interp.Alu.ftype Isa.FSGNJX (-3.0) 1.0);
+  check (Alcotest.float 0.0) "fsgnjx both negative" 3.0
+    (Interp.Alu.ftype Isa.FSGNJX (-3.0) (-1.0))
+
+let fp_compare_nan () =
+  check Alcotest.int "feq nan" 0 (Interp.Alu.fcmp Isa.FEQ Float.nan 1.0);
+  check Alcotest.int "flt" 1 (Interp.Alu.fcmp Isa.FLT 1.0 2.0);
+  check Alcotest.int "fle equal" 1 (Interp.Alu.fcmp Isa.FLE 2.0 2.0)
+
+let fp_convert () =
+  check Alcotest.int "fcvt truncates toward zero" 1 (Interp.Alu.fcvt_w_s 1.9);
+  check Alcotest.int "fcvt negative truncates" (-1) (Interp.Alu.fcvt_w_s (-1.9));
+  check Alcotest.int "fcvt nan" 0x7FFFFFFF (Interp.Alu.fcvt_w_s Float.nan);
+  check Alcotest.int "fcvt clamps high" 0x7FFFFFFF (Interp.Alu.fcvt_w_s 1e30);
+  check Alcotest.int "fcvt clamps low" (-2147483648) (Interp.Alu.fcvt_w_s (-1e30));
+  check (Alcotest.float 0.0) "fcvt_s_w" 42.0 (Interp.Alu.fcvt_s_w 42)
+
+let fp_move_bits () =
+  check Alcotest.int "fmv_x_w of 1.0" 0x3F800000 (Interp.Alu.fmv_x_w 1.0);
+  check (Alcotest.float 0.0) "fmv_w_x roundtrip" 1.0 (Interp.Alu.fmv_w_x 0x3F800000);
+  check Alcotest.int "fmv sign bit" (s32 0x80000000) (Interp.Alu.fmv_x_w (-0.0))
+
+let fp_single_rounding () =
+  (* fadd must round to single precision at every step. *)
+  let r = Interp.Alu.ftype Isa.FADD 16777216.0 1.0 in
+  check (Alcotest.float 0.0) "2^24 + 1 rounds away" 16777216.0 r
+
+(* -------------------- branches -------------------- *)
+
+let branch_semantics () =
+  check Alcotest.bool "beq" true (Interp.Alu.branch_taken Isa.BEQ 3 3);
+  check Alcotest.bool "bne" false (Interp.Alu.branch_taken Isa.BNE 3 3);
+  check Alcotest.bool "blt signed" true (Interp.Alu.branch_taken Isa.BLT (-1) 0);
+  check Alcotest.bool "bltu unsigned" false (Interp.Alu.branch_taken Isa.BLTU (-1) 0);
+  check Alcotest.bool "bge equal" true (Interp.Alu.branch_taken Isa.BGE 2 2);
+  check Alcotest.bool "bgeu" true (Interp.Alu.branch_taken Isa.BGEU (-1) 1)
+
+(* -------------------- whole-program execution -------------------- *)
+
+let run_program code setup =
+  let b = Asm.create () in
+  List.iter (fun f -> f b) code;
+  let prog = Asm.assemble b in
+  let mem = Main_memory.create ~size:65536 () in
+  let m = Machine.create ~pc:(Program.entry prog) mem in
+  setup m;
+  let halt, retired = Interp.run prog m in
+  (m, halt, retired)
+
+let exec_simple_sum () =
+  let open Reg in
+  let m, halt, retired =
+    run_program
+      [
+        (fun b -> Asm.li b t0 0);
+        (fun b -> Asm.li b t1 0);
+        (fun b -> Asm.label b "loop");
+        (fun b -> Asm.add b t1 t1 t0);
+        (fun b -> Asm.addi b t0 t0 1);
+        (fun b -> Asm.blt b t0 a0 "loop");
+        (fun b -> Asm.ecall b);
+      ]
+      (fun m -> Machine.set_x m a0 10)
+  in
+  check Alcotest.bool "halted on ecall" true (halt = Interp.Ecall_halt);
+  check Alcotest.int "sum 0..9" 45 (Machine.get_x m t1);
+  check Alcotest.int "retired" 32 retired
+
+let exec_memory_ops () =
+  let open Reg in
+  let m, _, _ =
+    run_program
+      [
+        (fun b -> Asm.li b t0 0x1234);
+        (fun b -> Asm.li b t1 0x8000);
+        (fun b -> Asm.sw b t0 0 t1);
+        (fun b -> Asm.lb b t2 0 t1);
+        (fun b -> Asm.lbu b t3 1 t1);
+        (fun b -> Asm.lh b t4 0 t1);
+        (fun b -> Asm.sb b t0 8 t1);
+        (fun b -> Asm.lw b t5 8 t1);
+        (fun b -> Asm.ecall b);
+      ]
+      (fun _ -> ())
+  in
+  check Alcotest.int "lb" 0x34 (Machine.get_x m t2);
+  check Alcotest.int "lbu" 0x12 (Machine.get_x m t3);
+  check Alcotest.int "lh" 0x1234 (Machine.get_x m t4);
+  check Alcotest.int "sb stores low byte" 0x34 (Machine.get_x m t5)
+
+let exec_signed_byte_load () =
+  let open Reg in
+  let m, _, _ =
+    run_program
+      [
+        (fun b -> Asm.li b t0 0xFF);
+        (fun b -> Asm.li b t1 0x8000);
+        (fun b -> Asm.sb b t0 0 t1);
+        (fun b -> Asm.lb b t2 0 t1);
+        (fun b -> Asm.lbu b t3 0 t1);
+        (fun b -> Asm.ecall b);
+      ]
+      (fun _ -> ())
+  in
+  check Alcotest.int "lb sign extends" (-1) (Machine.get_x m t2);
+  check Alcotest.int "lbu zero extends" 0xFF (Machine.get_x m t3)
+
+let exec_jal_jalr () =
+  let open Reg in
+  let m, _, _ =
+    run_program
+      [
+        (fun b -> Asm.jal b ra "target");
+        (fun b -> Asm.li b t0 111); (* skipped *)
+        (fun b -> Asm.label b "target");
+        (fun b -> Asm.li b t1 222);
+        (fun b -> Asm.ecall b);
+      ]
+      (fun _ -> ())
+  in
+  check Alcotest.int "skipped" 0 (Machine.get_x m t0);
+  check Alcotest.int "executed" 222 (Machine.get_x m t1);
+  check Alcotest.int "link register" 0x1004 (Machine.get_x m ra)
+
+let exec_exit_and_limits () =
+  let _, halt, _ =
+    run_program [ (fun b -> Asm.nop b); (fun b -> Asm.nop b) ] (fun _ -> ())
+  in
+  check Alcotest.bool "falls off the end" true (halt = Interp.Exited)
+
+let exec_step_limit () =
+  let b = Asm.create () in
+  Asm.label b "spin";
+  Asm.j b "spin";
+  let prog = Asm.assemble b in
+  let m = Machine.create ~pc:(Program.entry prog) (Main_memory.create ~size:4096 ()) in
+  let halt, retired = Interp.run ~max_steps:100 prog m in
+  check Alcotest.bool "step limit" true (halt = Interp.Step_limit);
+  check Alcotest.int "retired 100" 100 retired
+
+let exec_memory_fault () =
+  let open Reg in
+  let b = Asm.create () in
+  Asm.li b t1 0x7FFFFFF0;
+  Asm.lw b t0 0 t1;
+  Asm.ecall b;
+  let prog = Asm.assemble b in
+  let m = Machine.create ~pc:(Program.entry prog) (Main_memory.create ~size:4096 ()) in
+  let halt, _ = Interp.run prog m in
+  check Alcotest.bool "faults" true (match halt with Interp.Fault _ -> true | _ -> false)
+
+let suites =
+  [
+    ( "machine",
+      [
+        Alcotest.test_case "x0 hardwired" `Quick machine_x0_hardwired;
+        Alcotest.test_case "sign extension" `Quick machine_sign_extension;
+        Alcotest.test_case "fp rounding" `Quick machine_fp_rounding;
+        Alcotest.test_case "copy/equal" `Quick machine_copy_and_equal;
+      ] );
+    ( "interp.alu",
+      [
+        Alcotest.test_case "add/sub wrap" `Quick alu_add_sub_wrap;
+        Alcotest.test_case "shifts" `Quick alu_shifts;
+        Alcotest.test_case "compares" `Quick alu_compare;
+        Alcotest.test_case "mul family" `Quick alu_mul_family;
+        Alcotest.test_case "div/rem edge cases" `Quick alu_div_rem_edge_cases;
+        QCheck_alcotest.to_alcotest alu_reference;
+        Alcotest.test_case "fp min/max NaN" `Quick fp_min_max_nan;
+        Alcotest.test_case "fp sign injection" `Quick fp_sign_injection;
+        Alcotest.test_case "fp compare NaN" `Quick fp_compare_nan;
+        Alcotest.test_case "fp convert" `Quick fp_convert;
+        Alcotest.test_case "fp move bits" `Quick fp_move_bits;
+        Alcotest.test_case "fp single rounding" `Quick fp_single_rounding;
+        Alcotest.test_case "branch semantics" `Quick branch_semantics;
+      ] );
+    ( "interp.exec",
+      [
+        Alcotest.test_case "simple sum loop" `Quick exec_simple_sum;
+        Alcotest.test_case "memory ops" `Quick exec_memory_ops;
+        Alcotest.test_case "signed byte load" `Quick exec_signed_byte_load;
+        Alcotest.test_case "jal/jalr" `Quick exec_jal_jalr;
+        Alcotest.test_case "exit halt" `Quick exec_exit_and_limits;
+        Alcotest.test_case "step limit" `Quick exec_step_limit;
+        Alcotest.test_case "memory fault" `Quick exec_memory_fault;
+      ] );
+  ]

@@ -1,0 +1,137 @@
+let check = Alcotest.check
+
+let find name entries =
+  List.find (fun (e : Area_model.entry) -> e.Area_model.component = name) entries
+
+(* Table 1's published numbers must come out exactly at the calibration
+   point (512 entries, 128 PEs). *)
+let table1_calibration_point () =
+  let mesa = Area_model.mesa_extensions ~capacity:512 in
+  let cases =
+    [
+      ("MESA Top", 502000.0, 360.0);
+      ("MESA ArchModel", 375000.0, 270.0);
+      ("Instr. RenameTable", 11417.5, 6.161);
+      ("LDFG", 148483.6, 90.0);
+      ("Instr. Convert", 601.4, 0.465);
+      ("Instr. Mapping", 208432.9, 130.0);
+      ("Latency Optimizer", 4060.4, 3.302);
+      ("SDFG", 201171.0, 120.0);
+      ("MESA ConfigBlock", 101357.9, 70.0);
+    ]
+  in
+  List.iter
+    (fun (name, area, power) ->
+      let e = find name mesa in
+      check (Alcotest.float 0.5) (name ^ " area") area e.Area_model.area_um2;
+      check (Alcotest.float 0.5) (name ^ " power") power e.Area_model.power_mw)
+    cases;
+  let cpu = Area_model.cpu_additions ~capacity:512 in
+  check (Alcotest.float 0.5) "trace cache" 27124.5 (find "Trace Cache" cpu).Area_model.area_um2;
+  let acc = Area_model.accelerator ~grid:Grid.m128 in
+  check (Alcotest.float 1000.0) "accelerator top" 26.56e6
+    (find "Accelerator Top" acc).Area_model.area_um2;
+  check (Alcotest.float 1.0) "accelerator power" 11650.0
+    (find "Accelerator Top" acc).Area_model.power_mw
+
+let table1_scaling () =
+  let big = find "LDFG" (Area_model.mesa_extensions ~capacity:512) in
+  let small = find "LDFG" (Area_model.mesa_extensions ~capacity:128) in
+  check (Alcotest.float 1.0) "LDFG scales with capacity"
+    (big.Area_model.area_um2 /. 4.0)
+    small.Area_model.area_um2;
+  let a512 = find "PE Array" (Area_model.accelerator ~grid:Grid.m512) in
+  let a128 = find "PE Array" (Area_model.accelerator ~grid:Grid.m128) in
+  check (Alcotest.float 1.0) "PE array scales 4x" (4.0 *. a128.Area_model.area_um2)
+    a512.Area_model.area_um2
+
+let mesa_under_ten_percent_of_core () =
+  let f = Area_model.mesa_area_fraction_of_core ~capacity:512 in
+  check Alcotest.bool "paper's <10% claim" true (f > 0.0 && f < 0.10)
+
+let totals_are_top_level_sums () =
+  let entries = Area_model.accelerator ~grid:Grid.m128 in
+  check (Alcotest.float 0.01) "total area = top entry" 26.56
+    (Area_model.total_area_mm2 entries);
+  check (Alcotest.float 0.01) "total power = top entry" 11.65
+    (Area_model.total_power_w entries)
+
+(* -------------------- energy model -------------------- *)
+
+let mk_activity ~ops ~cycles =
+  let a = Activity.create () in
+  a.Activity.int_ops <- ops;
+  a.Activity.fp_ops <- ops;
+  a.Activity.mem_ops <- ops / 2;
+  a.Activity.local_transfers <- 2 * ops;
+  a.Activity.noc_transfers <- ops / 4;
+  a.Activity.cycles <- cycles;
+  a.Activity.iterations <- max 1 (ops / 10);
+  a
+
+let energy_positive_and_additive () =
+  let b1 = Energy_model.accel_energy ~grid:Grid.m128 (mk_activity ~ops:1000 ~cycles:500) in
+  let b2 = Energy_model.accel_energy ~grid:Grid.m128 (mk_activity ~ops:2000 ~cycles:500) in
+  check Alcotest.bool "positive" true (b1.Energy_model.total_nj > 0.0);
+  check Alcotest.bool "monotone in activity" true
+    (b2.Energy_model.total_nj > b1.Energy_model.total_nj);
+  check (Alcotest.float 1e-6) "categories sum to total"
+    b1.Energy_model.total_nj
+    (b1.Energy_model.compute_nj +. b1.Energy_model.memory_nj
+    +. b1.Energy_model.interconnect_nj +. b1.Energy_model.control_nj)
+
+let control_energy_scales_with_time () =
+  let short = Energy_model.accel_energy ~grid:Grid.m128 (mk_activity ~ops:100 ~cycles:100) in
+  let long = Energy_model.accel_energy ~grid:Grid.m128 (mk_activity ~ops:100 ~cycles:10000) in
+  check Alcotest.bool "idle time costs control energy" true
+    (long.Energy_model.control_nj > 10.0 *. short.Energy_model.control_nj)
+
+let cpu_energy_model () =
+  let s =
+    {
+      Ooo_model.cycles = 1000;
+      instructions = 2000;
+      mispredicts = 3;
+      loads = 400;
+      stores = 100;
+      int_ops = 1200;
+      fp_ops = 300;
+      branches = 200;
+      load_latency_sum = 2000;
+    }
+  in
+  let e = Energy_model.cpu_energy_nj s in
+  check Alcotest.bool "positive" true (e > 0.0);
+  check Alcotest.bool "dynamic dominates for busy core" true
+    (e > float_of_int s.Ooo_model.cycles *. 0.175);
+  check (Alcotest.float 1e-9) "multicore sums" (2.0 *. e)
+    (Energy_model.multicore_energy_nj [ s; s ])
+
+let efficiency_gain_semantics () =
+  check (Alcotest.float 1e-9) "half the energy, 2x efficiency" 2.0
+    (Energy_model.efficiency_gain ~baseline_nj:100.0 50.0);
+  check (Alcotest.float 1e-9) "degenerate" 0.0
+    (Energy_model.efficiency_gain ~baseline_nj:100.0 0.0)
+
+let mesa_translation_energy () =
+  check (Alcotest.float 1e-9) "0.36 W at 2 GHz" 180.0
+    (Energy_model.mesa_energy_nj ~busy_cycles:1000)
+
+let suites =
+  [
+    ( "area_model",
+      [
+        Alcotest.test_case "Table 1 calibration point" `Quick table1_calibration_point;
+        Alcotest.test_case "scaling model" `Quick table1_scaling;
+        Alcotest.test_case "MESA under 10% of a core" `Quick mesa_under_ten_percent_of_core;
+        Alcotest.test_case "totals" `Quick totals_are_top_level_sums;
+      ] );
+    ( "energy_model",
+      [
+        Alcotest.test_case "positive and additive" `Quick energy_positive_and_additive;
+        Alcotest.test_case "control scales with time" `Quick control_energy_scales_with_time;
+        Alcotest.test_case "cpu model" `Quick cpu_energy_model;
+        Alcotest.test_case "efficiency gain" `Quick efficiency_gain_semantics;
+        Alcotest.test_case "mesa translation energy" `Quick mesa_translation_energy;
+      ] );
+  ]

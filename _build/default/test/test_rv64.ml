@@ -1,0 +1,219 @@
+let check = Alcotest.check
+
+let rv64_testable = Alcotest.testable Rv64.pp Rv64.equal
+
+(* -------------------- codec -------------------- *)
+
+let golden_rv64_encodings () =
+  List.iter
+    (fun (instr, word) ->
+      check Alcotest.int32 (Format.asprintf "%a" Rv64.pp instr) word (Rv64.encode instr))
+    [
+      (Rv64.Ld (5, 10, 8), 0x00853283l);          (* ld t0, 8(a0) *)
+      (Rv64.Sd (5, 10, 8), 0x00553423l);          (* sd t0, 8(a0) *)
+      (Rv64.Lwu (5, 10, 0), 0x00056283l);         (* lwu t0, 0(a0) *)
+      (Rv64.Iw (Isa.ADDI, 5, 6, 1), 0x0013029Bl); (* addiw t0, t1, 1 *)
+      (Rv64.Rw (Isa.ADD, 5, 6, 7), 0x007302BBl);  (* addw t0, t1, t2 *)
+      (Rv64.Rw (Isa.SUB, 5, 6, 7), 0x407302BBl);  (* subw t0, t1, t2 *)
+      (Rv64.Itype (Isa.SLLI, 5, 6, 40), 0x02831293l); (* slli t0, t1, 40 *)
+    ]
+
+let rv64_roundtrip () =
+  let cases =
+    [
+      Rv64.Rtype (Isa.ADD, 1, 2, 3);
+      Rv64.Rtype (Isa.SRA, 4, 5, 6);
+      Rv64.Itype (Isa.ADDI, 1, 2, -7);
+      Rv64.Itype (Isa.SLLI, 1, 2, 63);
+      Rv64.Itype (Isa.SRAI, 1, 2, 33);
+      Rv64.Rw (Isa.SLL, 7, 8, 9);
+      Rv64.Iw (Isa.SRAI, 7, 8, 13);
+      Rv64.Load (Isa.LW, 1, 2, 100);
+      Rv64.Lwu (1, 2, -12);
+      Rv64.Ld (1, 2, 2040);
+      Rv64.Store (Isa.SB, 1, 2, -1);
+      Rv64.Sd (1, 2, 16);
+      Rv64.Branch (Isa.BGEU, 1, 2, -64);
+      Rv64.Lui (1, 0x7F000000);
+      Rv64.Auipc (2, 0x1000);
+      Rv64.Jal (1, 2048);
+      Rv64.Jalr (1, 2, 4);
+      Rv64.Ecall;
+    ]
+  in
+  List.iter
+    (fun i ->
+      match Rv64.decode (Rv64.encode i) with
+      | Ok i' -> check rv64_testable "roundtrip" i i'
+      | Error e -> Alcotest.failf "decode failed for %s: %s" (Format.asprintf "%a" Rv64.pp i) e)
+    cases
+
+let rv64_rejects_m_extension () =
+  (match Rv64.encode (Rv64.Rtype (Isa.MUL, 1, 2, 3)) with
+  | exception Encode.Unencodable _ -> ()
+  | _ -> Alcotest.fail "MUL should not encode in RV64I");
+  (* mul a0,a1,a2 word decodes under RV32 but must be rejected here. *)
+  check Alcotest.bool "mul word rejected" true
+    (Result.is_error (Rv64.decode 0x02C58533l))
+
+(* -------------------- 64-bit semantics -------------------- *)
+
+let alu64_width () =
+  check Alcotest.int64 "64-bit add does not wrap at 32" 0x100000000L
+    (Rv64.alu64 Isa.ADD 0xFFFFFFFFL 1L);
+  check Alcotest.int64 "sll 40" (Int64.shift_left 1L 40) (Rv64.alu64 Isa.SLL 1L 40L);
+  check Alcotest.int64 "srl on negative" Int64.max_int
+    (Rv64.alu64 Isa.SRL (-1L) 1L);
+  check Alcotest.int64 "sltu" 1L (Rv64.alu64 Isa.SLTU 5L (-1L))
+
+let aluw_sign_extension () =
+  (* addiw: operate on low 32 bits and sign-extend. *)
+  check Alcotest.int64 "addw wraps at 32 and sign-extends" (-2147483648L)
+    (Rv64.aluw Isa.ADD 0x7FFFFFFFL 1L);
+  check Alcotest.int64 "srlw zero-extends input word" 0x7FFFFFFFL
+    (Rv64.aluw Isa.SRL 0xFFFFFFFFL 1L);
+  check Alcotest.int64 "sraw keeps sign" (-1L) (Rv64.aluw Isa.SRA 0xFFFFFFFFL 1L);
+  check Alcotest.int64 "sllw result sign-extends" (-2147483648L)
+    (Rv64.aluw Isa.SLL 1L 31L)
+
+(* Differential: on values representable in 32 bits, RV64's W-forms agree
+   with the RV32 ALU. *)
+let w_forms_match_rv32 () =
+  let rng = Prng.create 0x64 in
+  for _ = 1 to 500 do
+    let a = Prng.int_in rng (-2147483648) 2147483647 in
+    let b = Prng.int_in rng (-2147483648) 2147483647 in
+    List.iter
+      (fun op ->
+        let r32 = Interp.Alu.rtype op a b in
+        let r64 = Rv64.aluw op (Int64.of_int a) (Int64.of_int b) in
+        check Alcotest.int64
+          (Printf.sprintf "W-form %d %d" a b)
+          (Int64.of_int r32) r64)
+      [ Isa.ADD; Isa.SUB; Isa.SLL; Isa.SRL; Isa.SRA ]
+  done
+
+(* -------------------- execution -------------------- *)
+
+let run_rv64 code setup =
+  let mem = Main_memory.create ~size:65536 () in
+  let m = Rv64.machine ~pc:0x1000 mem in
+  setup m;
+  match Rv64.run (Array.of_list code) ~base:0x1000 m with
+  | Ok retired -> (m, retired)
+  | Error e -> Alcotest.fail e
+
+let rv64_sum_loop () =
+  (* Sum 64-bit values: t1 += (t0 << 32) + t0 over 10 iterations. *)
+  let m, _ =
+    run_rv64
+      [
+        Rv64.Itype (Isa.ADDI, 5, 0, 0);              (* t0 = 0 *)
+        Rv64.Itype (Isa.ADDI, 6, 0, 0);              (* t1 = 0 *)
+        Rv64.Itype (Isa.SLLI, 7, 5, 32);             (* t2 = t0 << 32 *)
+        Rv64.Rtype (Isa.ADD, 7, 7, 5);               (* t2 += t0 *)
+        Rv64.Rtype (Isa.ADD, 6, 6, 7);               (* t1 += t2 *)
+        Rv64.Itype (Isa.ADDI, 5, 5, 1);              (* t0++ *)
+        Rv64.Branch (Isa.BLT, 5, 10, -16);           (* loop while t0 < a0 *)
+        Rv64.Ecall;
+      ]
+      (fun m -> Rv64.set_x m 10 10L)
+  in
+  (* sum over i of (i << 32) + i, i = 0..9 = 45 * (2^32 + 1) *)
+  check Alcotest.int64 "64-bit accumulation" (Int64.mul 45L 0x100000001L) (Rv64.get_x m 6)
+
+let rv64_memory_doublewords () =
+  let m, _ =
+    run_rv64
+      [
+        Rv64.Lui (5, 0x12345000);
+        Rv64.Itype (Isa.SLLI, 5, 5, 32);             (* big constant in high half *)
+        Rv64.Itype (Isa.ADDI, 5, 5, 0x77);
+        Rv64.Itype (Isa.ADDI, 6, 0, 0x100);          (* t1 = 0x100 *)
+        Rv64.Sd (5, 6, 0);
+        Rv64.Ld (7, 6, 0);
+        Rv64.Lwu (28, 6, 4);                         (* high word, zero-extended *)
+        Rv64.Ecall;
+      ]
+      (fun _ -> ())
+  in
+  check Alcotest.int64 "ld = sd" (Rv64.get_x m 5) (Rv64.get_x m 7);
+  check Alcotest.int64 "lwu high word" 0x12345000L (Rv64.get_x m 28)
+
+let rv64_x0_and_faults () =
+  let m, _ = run_rv64 [ Rv64.Itype (Isa.ADDI, 0, 0, 5); Rv64.Ecall ] (fun _ -> ()) in
+  check Alcotest.int64 "x0 hardwired" 0L (Rv64.get_x m 0);
+  let mem = Main_memory.create ~size:64 () in
+  let m = Rv64.machine ~pc:0x1000 mem in
+  (* pc points nowhere *)
+  m.Rv64.pc <- 0x2000;
+  check Alcotest.bool "pc fault reported" true
+    (Result.is_error (Rv64.run [| Rv64.Ecall |] ~base:0x1000 m))
+
+(* -------------------- schedule view -------------------- *)
+
+let schedule_slots_consistent () =
+  let dfg = Runner.dfg_of_kernel (Workloads.find "gaussian") in
+  let model = Perf_model.create dfg in
+  let placement =
+    Result.get_ok (Mapper.map ~grid:Grid.m128 ~kind:Interconnect.Mesh_noc model)
+  in
+  let slots = Schedule_view.compute model placement in
+  check Alcotest.int "one slot per node" (Dfg.node_count dfg) (Array.length slots);
+  Array.iteri
+    (fun i s ->
+      check Alcotest.int "indexed" i s.Schedule_view.node;
+      check Alcotest.bool "duration = op latency" true
+        (Float.abs (s.Schedule_view.finish -. s.Schedule_view.start
+                    -. Perf_model.op_latency model i)
+        < 1e-9))
+    slots;
+  check (Alcotest.float 1e-9) "makespan = model latency"
+    (Perf_model.iteration_latency model)
+    (Schedule_view.makespan slots);
+  (* Dependencies never start before their producers finish. *)
+  Array.iteri
+    (fun j nd ->
+      Array.iter
+        (function
+          | Dfg.Node i ->
+            check Alcotest.bool "producer first" true
+              (slots.(i).Schedule_view.finish <= slots.(j).Schedule_view.start +. 1e-9)
+          | Dfg.Reg_in _ -> ())
+        nd.Dfg.srcs)
+    dfg.Dfg.nodes
+
+let schedule_gantt_renders () =
+  let dfg = Runner.dfg_of_kernel (Workloads.find "nn") in
+  let model = Perf_model.create dfg in
+  let placement =
+    Result.get_ok (Mapper.map ~grid:Grid.m128 ~kind:Interconnect.Mesh_noc model)
+  in
+  let slots = Schedule_view.compute model placement in
+  let g = Schedule_view.gantt dfg slots in
+  check Alcotest.bool "has bars" true (String.exists (( = ) '=') g);
+  check Alcotest.bool "mentions LS entries" true
+    (String.length g > 0
+    && String.split_on_char '\n' g
+       |> List.exists (fun l -> String.length l > 6 && String.sub l 5 2 = "LS"))
+
+let suites =
+  [
+    ( "rv64",
+      [
+        Alcotest.test_case "golden encodings" `Quick golden_rv64_encodings;
+        Alcotest.test_case "codec roundtrip" `Quick rv64_roundtrip;
+        Alcotest.test_case "rejects M extension" `Quick rv64_rejects_m_extension;
+        Alcotest.test_case "64-bit ALU width" `Quick alu64_width;
+        Alcotest.test_case "W-form sign extension" `Quick aluw_sign_extension;
+        Alcotest.test_case "W-forms match RV32" `Quick w_forms_match_rv32;
+        Alcotest.test_case "64-bit sum loop" `Quick rv64_sum_loop;
+        Alcotest.test_case "doubleword memory" `Quick rv64_memory_doublewords;
+        Alcotest.test_case "x0 and faults" `Quick rv64_x0_and_faults;
+      ] );
+    ( "schedule_view",
+      [
+        Alcotest.test_case "slots consistent" `Quick schedule_slots_consistent;
+        Alcotest.test_case "gantt renders" `Quick schedule_gantt_renders;
+      ] );
+  ]
