@@ -137,8 +137,33 @@ let run_cmd =
   let no_iter =
     Arg.(value & flag & info [ "no-iterative" ] ~doc:"Disable runtime reoptimization.")
   in
-  let run name pes no_opt no_iter =
-    Result.map
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Dump the MESA run's full counter tree as JSON to $(docv).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the offload/region timeline to $(docv) in Chrome trace_event \
+             format (load in chrome://tracing or Perfetto).")
+  in
+  let write_file path contents =
+    try
+      let oc = open_out path in
+      output_string oc contents;
+      output_char oc '\n';
+      close_out oc;
+      Ok ()
+    with Sys_error e -> Error (`Msg ("cannot write " ^ e))
+  in
+  let run name pes no_opt no_iter stats_json trace_out =
+    Result.bind (find_kernel name)
       (fun k ->
         let grid = grid_of pes in
         let single = Runner.single_core k in
@@ -186,12 +211,25 @@ let run_cmd =
             else
               Printf.printf "region 0x%x rejected: %s\n" r.Controller.entry
                 (Option.value r.Controller.reject_reason ~default:"?"))
-          report.Controller.regions)
-      (find_kernel name)
+          report.Controller.regions;
+        let dump what path json =
+          match path with
+          | None -> Ok ()
+          | Some p ->
+            Result.map
+              (fun () -> Printf.printf "%s written to %s\n" what p)
+              (write_file p (Json.to_string ~indent:2 json))
+        in
+        Result.bind
+          (dump "stats" stats_json (Stats.to_json report.Controller.stats))
+          (fun () ->
+            dump "trace" trace_out (Trace.to_chrome_json report.Controller.timeline)))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a kernel under MESA against the CPU baselines")
-    Term.(term_result (const run $ kernel_arg $ grid_arg $ no_opt $ no_iter))
+    Term.(
+      term_result
+        (const run $ kernel_arg $ grid_arg $ no_opt $ no_iter $ stats_json $ trace_out))
 
 (* ---------------- schedule ---------------- *)
 

@@ -31,13 +31,14 @@ let () =
   in
   Printf.printf "profiling window: %d iterations, %d cycles\n" res.Engine.iterations
     res.Engine.cycles;
-  Array.iteri
-    (fun i amat ->
-      if amat > 0.0 then
-        Printf.printf "  measured AMAT of node %d (%s): %.1f cycles\n" i
-          (Disasm.to_string dfg.Dfg.nodes.(i).Dfg.instr)
-          amat)
-    res.Engine.amat;
+  for i = 0 to Dfg.node_count dfg - 1 do
+    match Stats.find_hist res.Engine.measured (Printf.sprintf "node.%d.amat" i) with
+    | Some h when h.Stats.hcount > 0 ->
+      Printf.printf "  measured AMAT of node %d (%s): %.1f cycles\n" i
+        (Disasm.to_string dfg.Dfg.nodes.(i).Dfg.instr)
+        (Stats.hist_mean h)
+    | Some _ | None -> ()
+  done;
 
   (* Feed the counters back and ask the optimizer for a better mapping. *)
   Optimizer.absorb model res;

@@ -39,3 +39,16 @@ let add acc src =
 
 let total_ops t =
   t.int_ops + t.fp_ops + t.mem_ops + t.branch_ops + t.disabled_ops
+
+let register_stats t grp =
+  Stats.int_probe grp "int_ops" (fun () -> t.int_ops);
+  Stats.int_probe grp "fp_ops" (fun () -> t.fp_ops);
+  Stats.int_probe grp "mem_ops" (fun () -> t.mem_ops);
+  Stats.int_probe grp "branch_ops" (fun () -> t.branch_ops);
+  Stats.int_probe grp "disabled_ops" (fun () -> t.disabled_ops);
+  Stats.int_probe grp "forwarded_loads" (fun () -> t.forwarded_loads);
+  Stats.int_probe grp "local_transfers" (fun () -> t.local_transfers);
+  Stats.int_probe grp "noc_transfers" (fun () -> t.noc_transfers);
+  Stats.int_probe grp "iterations" (fun () -> t.iterations);
+  Stats.int_probe grp "cycles" (fun () -> t.cycles);
+  Stats.int_probe grp "total_ops" (fun () -> total_ops t)

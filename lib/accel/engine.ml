@@ -4,9 +4,7 @@ type result = {
   completed : bool;
   exit_pc : int;
   activity : Activity.t;
-  node_latency : float array;
-  edge_samples : ((int * int) * float) list;
-  amat : float array;
+  measured : Stats.snapshot;
 }
 
 let u32 = Machine.to_u32
@@ -56,10 +54,21 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
     in
     let tiling = max 1 config.tiling in
     let inst_next = Array.make tiling 0.0 in
-    (* Measurements. *)
-    let node_lat = Array.init n (fun _ -> Stats.Running.create ()) in
-    let amat = Array.init n (fun _ -> Stats.Running.create ()) in
-    let edge_lat : (int * int, Stats.Running.t) Hashtbl.t = Hashtbl.create 64 in
+    (* Measurements: one fresh registry per profiling window, snapshotted
+       into the result. The hardware counters the optimizer reads (§5.2)
+       live here; arrays/hashtable keep the hot-loop path at one observe. *)
+    let reg = Stats.registry () in
+    let node_grp = Stats.group reg "node" in
+    let node_subgrps = Array.init n (fun i -> Stats.subgroup node_grp (string_of_int i)) in
+    let node_lat = Array.map (fun g -> Stats.histogram g "latency") node_subgrps in
+    let amat = Array.map (fun g -> Stats.histogram g "amat") node_subgrps in
+    let edge_grp = Stats.group reg "edge" in
+    let edge_subgrps : (int, Stats.group) Hashtbl.t = Hashtbl.create 16 in
+    let edge_lat : (int * int, Stats.histogram) Hashtbl.t = Hashtbl.create 64 in
+    let contention_grp = Stats.group reg "contention" in
+    let noc_queue = Stats.histogram contention_grp "noc_queue_delay" in
+    let port_queue = Stats.histogram contention_grp "port_queue_delay" in
+    let ii_achieved = Stats.histogram (Stats.group reg "ii") "achieved" in
     let act = Activity.create () in
     let val_i = function
       | Dfg.Node i -> vx.(i)
@@ -74,15 +83,23 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
         raise (Exec_fail (Printf.sprintf "FP read of int live-in %s" (Reg.name r)))
     in
     let record_edge i j lat =
-      let r =
+      let h =
         match Hashtbl.find_opt edge_lat (i, j) with
-        | Some r -> r
+        | Some h -> h
         | None ->
-          let r = Stats.Running.create () in
-          Hashtbl.add edge_lat (i, j) r;
-          r
+          let sub =
+            match Hashtbl.find_opt edge_subgrps i with
+            | Some g -> g
+            | None ->
+              let g = Stats.subgroup edge_grp (string_of_int i) in
+              Hashtbl.add edge_subgrps i g;
+              g
+          in
+          let h = Stats.histogram sub (string_of_int j) in
+          Hashtbl.add edge_lat (i, j) h;
+          h
       in
-      Stats.Running.add r lat
+      Stats.observe h lat
     in
     (* One data/control transfer from node [i] to node [j], with NoC
        contention applied at the producer's router slice. *)
@@ -98,12 +115,17 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
         let abs_out = iter_start +. completes.(i) in
         let inject = Contention.claim (noc_slot (inst, slice)) abs_out in
         act.Activity.noc_transfers <- act.Activity.noc_transfers + 1;
+        Stats.observe noc_queue (inject -. abs_out);
         let lat = base +. (inject -. abs_out) in
         record_edge i j lat;
         lat
     in
     (* Claim a memory port: returns queuing delay given absolute readiness. *)
-    let claim_port abs_ready = Contention.claim ports abs_ready -. abs_ready in
+    let claim_port abs_ready =
+      let delay = Contention.claim ports abs_ready -. abs_ready in
+      Stats.observe port_queue delay;
+      delay
+    in
     let accel_lat cls = float_of_int (Latency.accel cls) in
     let run () =
       let iterations = ref 0 in
@@ -180,7 +202,7 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
                     queue +. float_of_int (Hierarchy.min_latency hier)
                   else queue +. float_of_int cache
                 in
-                Stats.Running.add amat.(j) lat;
+                Stats.observe amat.(j) lat;
                 oplat := lat
               end
             in
@@ -268,7 +290,7 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
                    (Printf.sprintf "node %d (%s) not executable on the fabric" j
                       (Format.asprintf "%a" Isa.pp nd.Dfg.instr)))
           end;
-          Stats.Running.add node_lat.(j) !oplat;
+          Stats.observe node_lat.(j) !oplat;
           (match cls with
           | Isa.C_div | Isa.C_fdiv -> fu_bound := Float.max !fu_bound !oplat
           | _ -> ());
@@ -297,9 +319,13 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
              float_of_int (Stats.div_ceil !mem_accesses (max 1 grid.Grid.mem_ports))
            in
            let ii = Float.max (Float.max ii_rec ii_mem) !fu_bound in
+           Stats.observe ii_achieved ii;
            inst_next.(inst) <- iter_start +. ii
          end
-         else inst_next.(inst) <- iter_start +. iter_latency +. 1.0);
+         else begin
+           Stats.observe ii_achieved (iter_latency +. 1.0);
+           inst_next.(inst) <- iter_start +. iter_latency +. 1.0
+         end);
         if not continue_loop then exit_reached := true
         else begin
           (match stop_after with
@@ -321,10 +347,7 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
         completed = not !paused;
         exit_pc = machine.Machine.pc;
         activity = act;
-        node_latency = Array.map Stats.Running.mean node_lat;
-        edge_samples =
-          Hashtbl.fold (fun k r acc -> (k, Stats.Running.mean r) :: acc) edge_lat [];
-        amat = Array.map Stats.Running.mean amat;
+        measured = Stats.snapshot reg;
       }
     in
     try Ok (run ()) with Exec_fail msg -> Error msg)

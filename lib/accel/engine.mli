@@ -29,11 +29,17 @@ type result = {
                                           loop before its exit condition *)
   exit_pc : int;
   activity : Activity.t;
-  node_latency : float array;        (** measured mean op latency per node *)
-  edge_samples : ((int * int) * float) list;
-      (** measured mean transfer latency per data edge *)
-  amat : float array;                 (** mean access time per memory node;
-                                          0 for non-memory nodes *)
+  measured : Stats.snapshot;
+      (** this window's hardware-counter readouts:
+          - ["node.<i>.latency"] — per-PE firing histogram (count = fires,
+            mean = measured op latency, AMAT included for memory nodes);
+          - ["node.<i>.amat"] — cache access time per memory node;
+          - ["edge.<i>.<j>"] — measured transfer latency per dependence
+            edge, NoC queueing included;
+          - ["contention.noc_queue_delay" / "contention.port_queue_delay"]
+            — router-slice and memory-port queueing;
+          - ["ii.achieved"] — per-iteration initiation interval.
+          The optimizer absorbs these into the region's {!Perf_model}. *)
 }
 
 val execute :

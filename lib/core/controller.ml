@@ -57,6 +57,8 @@ type report = {
   activity : Activity.t;
   regions : region_report list;
   hier : Hierarchy.t;
+  stats : Stats.snapshot;
+  timeline : Trace.span list;
 }
 
 let src = Logs.Src.create "mesa.controller" ~doc:"MESA controller"
@@ -112,7 +114,7 @@ let translate opts prog (region : Region.t) =
           })
   end
 
-let run ?options ?hier prog machine =
+let run ?options ?hier ?stats prog machine =
   let opts = match options with Some o -> o | None -> default_options () in
   let hier =
     match hier with Some h -> h | None -> Hierarchy.create Hierarchy.default_config
@@ -121,39 +123,77 @@ let run ?options ?hier prog machine =
   let detector = Loop_detector.create ~config:opts.detector prog in
   let cache = Config_manager.create () in
   let activity = Activity.create () in
-  let accel_cycles = ref 0 in
-  let overhead = ref 0 in
-  let mesa_busy = ref 0 in
-  let offloads = ref 0 in
+  (* The unified counter registry (paper §5's performance counters): every
+     subsystem registers a named group, and the whole tree is snapshotted
+     into the report. The counters below *are* the accounting state — no
+     shadow refs. *)
+  let reg = match stats with Some r -> r | None -> Stats.registry () in
+  Ooo_model.register_stats cpu_model (Stats.group reg "cpu");
+  Hierarchy.register_stats hier (Stats.group reg "cache");
+  let engine_grp = Stats.group reg "engine" in
+  Activity.register_stats activity engine_grp;
+  let windows = Stats.counter engine_grp "windows" in
+  let ctl = Stats.group reg "controller" in
+  let accel_cycles = Stats.counter ctl "accel_cycles" in
+  let overhead = Stats.counter ctl "overhead_cycles" in
+  let mesa_busy = Stats.counter ctl "mesa_busy_cycles" in
+  let offloads = Stats.counter ctl "offloads" in
+  let reconfigurations = Stats.counter ctl "reconfigurations" in
+  let reopt_rounds = Stats.counter ctl "reopt_rounds" in
+  let translations = Stats.counter ctl "translations" in
+  let translation_cycles_c = Stats.counter ctl "translation_cycles" in
+  let regions_accepted = Stats.counter ctl "regions_accepted" in
+  let regions_rejected = Stats.counter ctl "regions_rejected" in
+  let config_cache_hits = Stats.counter ctl "config_cache_hits" in
+  let cpu_cycles_now () = (Ooo_model.summary cpu_model).Ooo_model.cycles in
+  Stats.int_probe ctl "cpu_cycles" cpu_cycles_now;
+  Stats.int_probe ctl "total_cycles" (fun () ->
+      cpu_cycles_now () + Stats.get accel_cycles + Stats.get overhead);
+  let regions_grp = Stats.group reg "regions" in
+  let timeline : Trace.span list ref = ref [] in
+  let wall_now () = cpu_cycles_now () + Stats.get accel_cycles + Stats.get overhead in
+  let emit sp = timeline := sp :: !timeline in
+  let rname entry = Printf.sprintf "r%x" entry in
   let rejected : region_report list ref = ref [] in
   (* A configuration being written while the CPU keeps running: ready once
      the CPU clock passes [ready_at]. *)
   let pending : (Config_manager.cached * int) option ref = ref None in
-  let cpu_cycles_now () = (Ooo_model.summary cpu_model).Ooo_model.cycles in
 
   let run_offload (c : Config_manager.cached) =
     Log.debug (fun m -> m "offloading %a" Region.pp c.Config_manager.region);
-    overhead := !overhead + (2 * opts.offload_overhead);
-    incr offloads;
+    Stats.add overhead (2 * opts.offload_overhead);
+    Stats.incr offloads;
     c.Config_manager.offloads <- c.Config_manager.offloads + 1;
+    let entry = c.Config_manager.region.Region.entry in
     let budget = ref (if opts.iterative then opts.max_reopts else 0) in
     let running = ref true in
     while !running do
       let stop_after = if !budget > 0 then Some opts.profile_chunk else None in
+      let window_start = wall_now () in
       match
         Engine.execute ?stop_after ~config:c.Config_manager.config
           ~dfg:c.Config_manager.dfg ~machine ~hier ()
       with
       | Error e -> failwith ("MESA engine failure: " ^ e)
       | Ok res ->
-        accel_cycles := !accel_cycles + res.Engine.cycles;
+        Stats.add accel_cycles res.Engine.cycles;
+        Stats.incr windows;
         Activity.add activity res.Engine.activity;
         c.Config_manager.accel_iterations <-
           c.Config_manager.accel_iterations + res.Engine.iterations;
         c.Config_manager.accel_cycles <- c.Config_manager.accel_cycles + res.Engine.cycles;
+        emit
+          (Trace.span ~cat:"fabric" ~ts:window_start ~dur:res.Engine.cycles
+             ~args:
+               [
+                 ("iterations", Json.Int res.Engine.iterations);
+                 ("completed", Json.Bool res.Engine.completed);
+               ]
+             ("offload " ^ rname entry));
         if res.Engine.completed then running := false
         else if !budget > 0 then begin
           decr budget;
+          Stats.incr reopt_rounds;
           Optimizer.absorb c.Config_manager.model res;
           match
             Optimizer.step ~grid:opts.grid ~kind:opts.kind ~mapper:opts.mapper
@@ -174,8 +214,17 @@ let run ?options ?hier prog machine =
                     c.Config_manager.region previous latency);
               c.Config_manager.config <- config';
               c.Config_manager.reconfigurations <- c.Config_manager.reconfigurations + 1;
-              overhead := !overhead + stall;
-              mesa_busy := !mesa_busy + stall
+              Stats.incr reconfigurations;
+              emit
+                (Trace.span ~cat:"mesa" ~ts:(wall_now ()) ~dur:stall
+                   ~args:
+                     [
+                       ("modeled_latency_before", Json.Float previous);
+                       ("modeled_latency_after", Json.Float latency);
+                     ]
+                   ("reconfigure " ^ rname entry));
+              Stats.add overhead stall;
+              Stats.add mesa_busy stall
             end
             else budget := 0
           | Optimizer.Keep _ -> budget := 0
@@ -205,7 +254,11 @@ let run ?options ?hier prog machine =
           let cost =
             Config_manager.cache_hit_cycles c.Config_manager.config c.Config_manager.dfg
           in
-          mesa_busy := !mesa_busy + cost;
+          Stats.add mesa_busy cost;
+          Stats.incr config_cache_hits;
+          emit
+            (Trace.span ~cat:"mesa" ~ts:(wall_now ()) ~dur:cost
+               ("rearm " ^ rname c.Config_manager.region.Region.entry));
           pending := Some (c, cpu_cycles_now () + cost)
         | None -> ()));
       match Interp.step prog machine with
@@ -222,13 +275,39 @@ let run ?options ?hier prog machine =
                 cached.Config_manager.config
             in
             cached.Config_manager.translation_cycles <- tcycles;
-            mesa_busy := !mesa_busy + tcycles;
+            Stats.add mesa_busy tcycles;
+            Stats.incr translations;
+            Stats.add translation_cycles_c tcycles;
+            Stats.incr regions_accepted;
+            (* Per-region counter subgroup, sampled from the cached record at
+               snapshot time. *)
+            (try
+               let rg = Stats.subgroup regions_grp (rname region.Region.entry) in
+               Stats.int_probe rg "offloads" (fun () -> cached.Config_manager.offloads);
+               Stats.int_probe rg "reconfigurations" (fun () ->
+                   cached.Config_manager.reconfigurations);
+               Stats.int_probe rg "accel_iterations" (fun () ->
+                   cached.Config_manager.accel_iterations);
+               Stats.int_probe rg "accel_cycles" (fun () ->
+                   cached.Config_manager.accel_cycles);
+               Stats.int_probe rg "translation_cycles" (fun () ->
+                   cached.Config_manager.translation_cycles)
+             with Invalid_argument _ -> ());
+            emit
+              (Trace.span ~cat:"mesa" ~ts:(wall_now ()) ~dur:tcycles
+                 ~args:[ ("region_size", Json.Int (Region.size region)) ]
+                 ("translate " ^ rname region.Region.entry));
             Config_manager.add cache cached;
             pending := Some (cached, cpu_cycles_now () + tcycles);
             Log.debug (fun m ->
                 m "accepted %a, translation %d cycles" Region.pp region tcycles)
           | Error reason ->
             Loop_detector.blacklist detector region.Region.entry;
+            Stats.incr regions_rejected;
+            emit
+              (Trace.instant ~cat:"detector" ~ts:(wall_now ())
+                 ~args:[ ("reason", Json.String reason) ]
+                 ("reject " ^ rname region.Region.entry));
             Log.debug (fun m -> m "mapping failed for %a: %s" Region.pp region reason);
             rejected :=
               {
@@ -247,6 +326,11 @@ let run ?options ?hier prog machine =
               }
               :: !rejected)
         | Some (Loop_detector.Rejected { entry; reason }) ->
+          Stats.incr regions_rejected;
+          emit
+            (Trace.instant ~cat:"detector" ~ts:(wall_now ())
+               ~args:[ ("reason", Json.String reason) ]
+               ("reject " ^ rname entry));
           Log.debug (fun m -> m "rejected region 0x%x: %s" entry reason);
           rejected :=
             {
@@ -288,17 +372,19 @@ let run ?options ?hier prog machine =
       (Config_manager.entries cache)
   in
   {
-    total_cycles = cpu_summary.Ooo_model.cycles + !accel_cycles + !overhead;
+    total_cycles = cpu_summary.Ooo_model.cycles + Stats.get accel_cycles + Stats.get overhead;
     cpu_cycles = cpu_summary.Ooo_model.cycles;
-    accel_cycles = !accel_cycles;
-    overhead_cycles = !overhead;
-    mesa_busy_cycles = !mesa_busy;
-    offloads = !offloads;
+    accel_cycles = Stats.get accel_cycles;
+    overhead_cycles = Stats.get overhead;
+    mesa_busy_cycles = Stats.get mesa_busy;
+    offloads = Stats.get offloads;
     halt = Option.get !halt;
     cpu_summary;
     activity;
     regions = accepted_reports @ List.rev !rejected;
     hier;
+    stats = Stats.snapshot reg;
+    timeline = List.rev !timeline;
   }
 
 let speedup ~baseline_cycles report =

@@ -66,11 +66,26 @@ type report = {
   activity : Activity.t;   (** accumulated fabric activity *)
   regions : region_report list;
   hier : Hierarchy.t;      (** the shared memory hierarchy, for energy *)
+  stats : Stats.snapshot;
+      (** end-of-run readout of every counter group: [cpu] (OoO model),
+          [cache] (per-level hits/misses), [engine] (fabric activity,
+          profiling windows), [controller] (offloads, reconfigurations,
+          translation, cycle accounting) and [regions.r<entry>] per accepted
+          region *)
+  timeline : Trace.span list;
+      (** offload / translate / reconfigure / reject events on the
+          wall-clock axis, ready for {!Trace.to_chrome_json} *)
 }
 
-val run : ?options:options -> ?hier:Hierarchy.t -> Program.t -> Machine.t -> report
+val run :
+  ?options:options -> ?hier:Hierarchy.t -> ?stats:Stats.registry ->
+  Program.t -> Machine.t -> report
 (** Execute the program to completion under MESA. The machine ends in the
     same architectural state the plain interpreter would produce — the
-    equivalence the test suite verifies. *)
+    equivalence the test suite verifies.
+
+    [stats] supplies the registry the run's counter groups are created in
+    (fresh by default) — pass one to co-register caller-side counters under
+    the same tree. *)
 
 val speedup : baseline_cycles:int -> report -> float

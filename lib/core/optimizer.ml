@@ -1,10 +1,28 @@
 let improvement_threshold = 0.05
 
+(* Counter readouts come in as the engine window's stats snapshot: per-node
+   firing histograms under "node.<i>.latency" and per-edge transfer
+   histograms under "edge.<i>.<j>". The histogram mean over the window is
+   exactly the running mean the old per-window accumulators reported. *)
 let absorb model (res : Engine.result) =
-  Array.iteri
-    (fun i lat -> if lat > 0.0 then Perf_model.observe_op model i lat)
-    res.Engine.node_latency;
-  List.iter (fun ((i, j), lat) -> Perf_model.observe_transfer model i j lat) res.Engine.edge_samples
+  let m = res.Engine.measured in
+  let n = Dfg.node_count (Perf_model.graph model) in
+  for i = 0 to n - 1 do
+    match Stats.find_hist m (Printf.sprintf "node.%d.latency" i) with
+    | Some h when h.Stats.hcount > 0 ->
+      let lat = Stats.hist_mean h in
+      if lat > 0.0 then Perf_model.observe_op model i lat
+    | Some _ | None -> ()
+  done;
+  List.iter
+    (fun (rest, h) ->
+      match String.split_on_char '.' rest with
+      | [ i; j ] when h.Stats.hcount > 0 ->
+        (match (int_of_string_opt i, int_of_string_opt j) with
+        | Some i, Some j -> Perf_model.observe_transfer model i j (Stats.hist_mean h)
+        | _ -> ())
+      | _ -> ())
+    (Stats.hists_under m "edge")
 
 type outcome =
   | Keep of float

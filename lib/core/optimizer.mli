@@ -13,8 +13,8 @@ val improvement_threshold : float
 (** Relative gain required to pay a reconfiguration (5%). *)
 
 val absorb : Perf_model.t -> Engine.result -> unit
-(** Fold measured per-node operation latencies and per-edge transfer
-    latencies into the model. *)
+(** Fold the window's counter readouts — per-node operation latency and
+    per-edge transfer histograms from [result.measured] — into the model. *)
 
 type outcome =
   | Keep of float         (** modeled latency of the retained configuration *)

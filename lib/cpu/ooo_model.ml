@@ -33,6 +33,8 @@ type summary = {
   fp_ops : int;
   branches : int;
   load_latency_sum : int;
+  rob_stalls : int;
+  fetch_refills : int;
 }
 
 type t = {
@@ -59,6 +61,8 @@ type t = {
   mutable fp_ops : int;
   mutable branches : int;
   mutable load_latency_sum : int;
+  mutable rob_stalls : int;
+  mutable fetch_refills : int;
 }
 
 let create cfg hier =
@@ -86,6 +90,8 @@ let create cfg hier =
     fp_ops = 0;
     branches = 0;
     load_latency_sum = 0;
+    rob_stalls = 0;
+    fetch_refills = 0;
   }
 
 (* Claim the earliest-free unit from a pool; mark it busy until
@@ -137,6 +143,7 @@ let feed t (ev : Interp.event) =
   (* Structural constraints: fetch slot and ROB space. *)
   let fetched = fetch_time t in
   let rob_slot = t.commit_ring.(t.seq mod cfg.rob_size) in
+  if rob_slot > ready && rob_slot > fetched then t.rob_stalls <- t.rob_stalls + 1;
   let not_before = max (max ready fetched) rob_slot in
   (* Functional unit and latency. *)
   let issue, latency =
@@ -182,6 +189,7 @@ let feed t (ev : Interp.event) =
     if (not correct) && cfg.mispredict_penalty > 0 then begin
       let resume = complete + cfg.mispredict_penalty in
       if resume > t.fetch_cycle then begin
+        t.fetch_refills <- t.fetch_refills + 1;
         t.fetch_cycle <- resume;
         t.fetched_this_cycle <- 0
       end
@@ -210,6 +218,41 @@ let summary t =
     fp_ops = t.fp_ops;
     branches = t.branches;
     load_latency_sum = t.load_latency_sum;
+    rob_stalls = t.rob_stalls;
+    fetch_refills = t.fetch_refills;
   }
 
 let ipc s = if s.cycles = 0 then 0.0 else float_of_int s.instructions /. float_of_int s.cycles
+
+(* Wire the live model into a stats group: probes read the mutable fields
+   at snapshot time, so the timing hot path is untouched. *)
+let register_stats t grp =
+  Stats.int_probe grp "cycles" (fun () -> t.last_commit);
+  Stats.int_probe grp "instructions" (fun () -> t.seq);
+  Stats.int_probe grp "mispredicts" (fun () -> Predictor.mispredicts t.predictor);
+  Stats.int_probe grp "branches" (fun () -> t.branches);
+  Stats.int_probe grp "loads" (fun () -> t.loads);
+  Stats.int_probe grp "stores" (fun () -> t.stores);
+  Stats.int_probe grp "int_ops" (fun () -> t.int_ops);
+  Stats.int_probe grp "fp_ops" (fun () -> t.fp_ops);
+  Stats.int_probe grp "load_latency_sum" (fun () -> t.load_latency_sum);
+  Stats.int_probe grp "rob_stalls" (fun () -> t.rob_stalls);
+  Stats.int_probe grp "fetch_refills" (fun () -> t.fetch_refills);
+  Stats.derived grp "ipc" (fun () -> ipc (summary t));
+  Stats.derived grp "amat" (fun () ->
+      if t.loads = 0 then 0.0
+      else float_of_int t.load_latency_sum /. float_of_int t.loads)
+
+let register_summary_stats s grp =
+  Stats.int_probe grp "cycles" (fun () -> s.cycles);
+  Stats.int_probe grp "instructions" (fun () -> s.instructions);
+  Stats.int_probe grp "mispredicts" (fun () -> s.mispredicts);
+  Stats.int_probe grp "branches" (fun () -> s.branches);
+  Stats.int_probe grp "loads" (fun () -> s.loads);
+  Stats.int_probe grp "stores" (fun () -> s.stores);
+  Stats.int_probe grp "int_ops" (fun () -> s.int_ops);
+  Stats.int_probe grp "fp_ops" (fun () -> s.fp_ops);
+  Stats.int_probe grp "load_latency_sum" (fun () -> s.load_latency_sum);
+  Stats.int_probe grp "rob_stalls" (fun () -> s.rob_stalls);
+  Stats.int_probe grp "fetch_refills" (fun () -> s.fetch_refills);
+  Stats.derived grp "ipc" (fun () -> ipc s)

@@ -47,9 +47,20 @@ type summary = {
   fp_ops : int;
   branches : int;
   load_latency_sum : int; (** for AMAT reporting *)
+  rob_stalls : int;       (** instructions whose issue waited on ROB space *)
+  fetch_refills : int;    (** frontend restarts after a mispredict *)
 }
 
 val summary : t -> summary
 
 val ipc : summary -> float
 (** Instructions per cycle; 0 for an empty run. *)
+
+val register_stats : t -> Stats.group -> unit
+(** Expose the live model's counters (cycles, instructions, per-class op
+    counts, stalls, IPC, AMAT) as probes under [grp]. Snapshot-time reads
+    only — the timing hot path is untouched. *)
+
+val register_summary_stats : summary -> Stats.group -> unit
+(** Same stat names over a frozen {!summary}, for runs that only keep the
+    summary around (baseline measurements). *)

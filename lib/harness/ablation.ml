@@ -52,6 +52,7 @@ let run_variant ?(grid = Grid.m128) variant (k : Kernel.t) =
       +. accel.Energy_model.total_nj
       +. Energy_model.mesa_energy_nj ~busy_cycles:report.Controller.mesa_busy_cycles;
     checked = k.Kernel.check mem;
+    stats = report.Controller.stats;
   }
 
 let default_kernels () =

@@ -3,7 +3,13 @@ type measurement = {
   cycles : int;
   energy_nj : float;
   checked : (unit, string) result;
+  stats : Stats.snapshot;
 }
+
+let summary_snapshot s =
+  let reg = Stats.registry () in
+  Ooo_model.register_summary_stats s (Stats.group reg "cpu");
+  Stats.snapshot reg
 
 let speedup ~baseline m =
   if m.cycles = 0 then 0.0 else float_of_int baseline.cycles /. float_of_int m.cycles
@@ -20,17 +26,29 @@ let single_core (k : Kernel.t) =
     cycles = r.Cpu_run.summary.Ooo_model.cycles;
     energy_nj = Energy_model.cpu_energy_nj r.Cpu_run.summary;
     checked = k.Kernel.check mem;
+    stats = summary_snapshot r.Cpu_run.summary;
   }
 
 let multicore ?(cores = 16) (k : Kernel.t) =
   let mem = Main_memory.create () in
   k.Kernel.setup mem;
   let r = Multicore.run ~cores k mem in
+  let stats =
+    let reg = Stats.registry () in
+    let grp = Stats.group reg "cpu" in
+    List.iteri
+      (fun i s ->
+        Ooo_model.register_summary_stats s
+          (Stats.subgroup grp (Printf.sprintf "core%d" i)))
+      r.Multicore.summaries;
+    Stats.snapshot reg
+  in
   {
     label = Printf.sprintf "%d-core OoO" cores;
     cycles = r.Multicore.cycles;
     energy_nj = Energy_model.multicore_energy_nj r.Multicore.summaries;
     checked = k.Kernel.check mem;
+    stats;
   }
 
 let mesa ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true) ?mem_ports (k : Kernel.t) =
@@ -52,6 +70,7 @@ let mesa ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true) ?mem_ports (
       cycles = report.Controller.total_cycles;
       energy_nj;
       checked = k.Kernel.check mem;
+      stats = report.Controller.stats;
     },
     report )
 
@@ -118,5 +137,11 @@ let dynaspam ?(config = Dynaspam.default_config) (k : Kernel.t) =
       (float_of_int cycles *. 0.175)
       +. ((base.energy_nj -. (float_of_int base.cycles *. 0.175)) *. 0.6)
     in
-    { label = "DynaSpAM"; cycles; energy_nj; checked = k.Kernel.check mem }
+    {
+      label = "DynaSpAM";
+      cycles;
+      energy_nj;
+      checked = k.Kernel.check mem;
+      stats = summary_snapshot r.Cpu_run.summary;
+    }
   end

@@ -8,6 +8,9 @@ type measurement = {
   energy_nj : float;
   checked : (unit, string) result;  (** output validated against the OCaml
                                         reference *)
+  stats : Stats.snapshot;           (** end-of-run counter readout — full
+                                        controller tree for MESA runs, the
+                                        CPU summary group for baselines *)
 }
 
 val speedup : baseline:measurement -> measurement -> float

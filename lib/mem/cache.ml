@@ -118,3 +118,10 @@ let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
   t.writebacks <- 0
+
+let register_stats t grp =
+  Stats.int_probe grp "hits" (fun () -> t.hits);
+  Stats.int_probe grp "misses" (fun () -> t.misses);
+  Stats.int_probe grp "writebacks" (fun () -> t.writebacks);
+  Stats.int_probe grp "accesses" (fun () -> accesses t);
+  Stats.derived grp "hit_rate" (fun () -> hit_rate t)

@@ -47,3 +47,7 @@ val hit_rate : t -> float
 (** 0 when no access has been made. *)
 
 val reset_stats : t -> unit
+
+val register_stats : t -> Stats.group -> unit
+(** Expose hits/misses/writebacks/accesses/hit_rate as snapshot-time probes
+    under [grp]. *)

@@ -54,6 +54,12 @@ let reset_stats t =
   Cache.reset_stats t.l1;
   Cache.reset_stats t.l2
 
+let register_stats t grp =
+  Cache.register_stats t.l1 (Stats.subgroup grp "l1");
+  Cache.register_stats t.l2 (Stats.subgroup grp "l2");
+  Stats.int_probe grp "dram_latency" (fun () -> t.cfg.dram_latency);
+  Stats.int_probe grp "sharers" (fun () -> t.sharers)
+
 let invalidate_all t =
   Cache.invalidate_all t.l1;
   Cache.invalidate_all t.l2

@@ -51,3 +51,7 @@ val l2 : t -> Cache.t
 
 val reset_stats : t -> unit
 val invalidate_all : t -> unit
+
+val register_stats : t -> Stats.group -> unit
+(** Register [l1] and [l2] subgroups (per-level hit/miss/writeback probes)
+    plus the hierarchy's fixed parameters under [grp]. *)

@@ -43,3 +43,102 @@ module Running : sig
 
   val reset : t -> unit
 end
+
+(** {1 Hierarchical performance-counter registry}
+
+    The uniform observability layer behind the measure-then-remap loop
+    (paper §5): every timing model registers its counters under a named
+    group, and the whole tree can be snapshotted, dumped to JSON or flat
+    text, diffed, and checked for invariants. Hot-loop increments are a
+    single mutable-field store. *)
+
+type value = VInt of int | VFloat of float
+
+type registry
+type group
+type counter
+type histogram
+
+val registry : unit -> registry
+
+val group : registry -> string -> group
+(** Top-level group. Raises [Invalid_argument] on a duplicate or invalid
+    name (names are [[A-Za-z0-9_-]+]; dots separate hierarchy levels in
+    paths only). *)
+
+val subgroup : group -> string -> group
+
+val counter : ?desc:string -> group -> string -> counter
+(** Monotone integer counter. Raises [Invalid_argument] on duplicates. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set : counter -> int -> unit
+(** For gauges mirrored from external state; prefer {!probe} when the
+    state already lives elsewhere. *)
+
+val get : counter -> int
+
+val histogram : ?desc:string -> group -> string -> histogram
+(** Sample accumulator tallying count/sum/min/max — the same quartet the
+    paper's hardware counters expose per operation. *)
+
+val observe : histogram -> float -> unit
+
+val find_histogram : group -> string -> histogram option
+(** Lazy-creation helper for dynamically named stats (e.g. per-edge). *)
+
+val probe : ?desc:string -> group -> string -> (unit -> value) -> unit
+(** Register a closure sampled at {!snapshot} time — exposes pre-existing
+    mutable model state with zero hot-path cost. *)
+
+val derived : ?desc:string -> group -> string -> (unit -> float) -> unit
+(** Float probe (ratios such as IPC or hit rates). *)
+
+val int_probe : ?desc:string -> group -> string -> (unit -> int) -> unit
+
+(** {2 Snapshots} *)
+
+type hist = { hcount : int; hsum : float; hmin : float; hmax : float }
+
+val hist_mean : hist -> float
+
+type entry = Value of value | Hist of hist
+
+type snapshot
+(** Immutable dump of the registry: dotted paths in registration order. *)
+
+val empty : snapshot
+val snapshot : registry -> snapshot
+val to_assoc : snapshot -> (string * entry) list
+val names : snapshot -> string list
+val find : snapshot -> string -> value option
+val find_int : snapshot -> string -> int option
+val find_hist : snapshot -> string -> hist option
+
+val hists_under : snapshot -> string -> (string * hist) list
+(** All histograms whose path starts with [prefix ^ "."], keyed by the
+    remainder of the path — how the optimizer enumerates per-node and
+    per-edge measurements. *)
+
+val to_json : snapshot -> Json.t
+(** Nested objects mirroring the group hierarchy; histograms become
+    [{count, sum, min, max}] objects. *)
+
+val of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!to_json} (up to probe/counter distinction — every scalar
+    parses as a plain value). *)
+
+val to_flat_text : snapshot -> string
+
+(** {2 Diff and invariants} *)
+
+type delta = { path : string; before : float; after : float }
+
+val diff : snapshot -> snapshot -> delta list
+(** Changed paths only. Histograms contribute their sample sum under the
+    histogram's own path and the count under [path ^ ".count"]. *)
+
+val check_invariants : snapshot -> (unit, string list) result
+(** No negative counters, no NaN probes, histogram min <= max. *)

@@ -1,0 +1,36 @@
+type span = {
+  name : string;
+  cat : string;
+  ts : int;
+  dur : int;
+  args : (string * Json.t) list;
+}
+
+let span ?(args = []) ~cat ~ts ~dur name = { name; cat; ts; dur; args }
+let instant ?(args = []) ~cat ~ts name = { name; cat; ts; dur = 0; args }
+
+let span_to_json s =
+  let common =
+    [
+      ("name", Json.String s.name);
+      ("cat", Json.String s.cat);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int 0);
+      ("ts", Json.Int s.ts);
+    ]
+  in
+  let shape =
+    if s.dur > 0 then [ ("ph", Json.String "X"); ("dur", Json.Int s.dur) ]
+    else [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+  in
+  let args = if s.args = [] then [] else [ ("args", Json.Assoc s.args) ] in
+  Json.Assoc (common @ shape @ args)
+
+let to_chrome_json spans =
+  Json.Assoc
+    [
+      ("traceEvents", Json.List (List.map span_to_json spans));
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
+let to_string spans = Json.to_string (to_chrome_json spans)

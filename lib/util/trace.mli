@@ -1,0 +1,21 @@
+(** Chrome [trace_event] timeline emission ([chrome://tracing] /
+    [ui.perfetto.dev]). The controller records one span per translation,
+    offload window and reconfiguration; timestamps are wall-clock simulated
+    cycles, written to the JSON [ts] field (nominally microseconds — the
+    viewer only cares about relative placement). *)
+
+type span = {
+  name : string;
+  cat : string;   (** trace category, e.g. "mesa", "fabric" *)
+  ts : int;       (** start, in simulated cycles *)
+  dur : int;      (** duration in cycles; 0 renders as an instant event *)
+  args : (string * Json.t) list;
+}
+
+val span : ?args:(string * Json.t) list -> cat:string -> ts:int -> dur:int -> string -> span
+val instant : ?args:(string * Json.t) list -> cat:string -> ts:int -> string -> span
+
+val to_chrome_json : span list -> Json.t
+(** The [{"traceEvents": [...]}] envelope. *)
+
+val to_string : span list -> string

@@ -1,0 +1,44 @@
+(* Smoke-check mesa_cli's --stats-json / --trace output files (produced by
+   the dune rule in this directory): both must parse as JSON, the stats
+   tree must contain every top-level counter group, and the trace must
+   carry well-formed Chrome trace_event records. *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("cli_smoke: " ^ m); exit 1) fmt
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Json.of_string text with
+  | Ok j -> j
+  | Error e -> die "%s does not parse: %s" path e
+
+let () =
+  let stats_path, trace_path =
+    match Sys.argv with
+    | [| _; s; t |] -> (s, t)
+    | _ -> die "usage: cli_smoke STATS.json TRACE.json"
+  in
+  let stats = read_json stats_path in
+  List.iter
+    (fun grp ->
+      match Json.member grp stats with
+      | Some (Json.Assoc (_ :: _)) -> ()
+      | _ -> die "stats group %S missing or empty in %s" grp stats_path)
+    [ "cpu"; "cache"; "engine"; "controller" ];
+  (match Option.bind (Json.path [ "controller"; "offloads" ] stats) Json.to_int with
+  | Some n when n > 0 -> ()
+  | _ -> die "expected at least one offload in %s" stats_path);
+  let trace = read_json trace_path in
+  (match Option.bind (Json.member "traceEvents" trace) Json.to_list with
+  | Some (_ :: _ as events) ->
+    List.iter
+      (fun ev ->
+        let field k = Json.member k ev in
+        match (field "name", field "ph", Option.bind (field "ts") Json.to_int) with
+        | Some (Json.String _), Some (Json.String _), Some ts when ts >= 0 -> ()
+        | _ -> die "malformed trace event in %s" trace_path)
+      events
+  | _ -> die "no traceEvents in %s" trace_path);
+  print_endline "cli_smoke: ok"

@@ -133,13 +133,20 @@ let measurements_populated () =
   match Engine.execute ~config ~dfg ~machine:m ~hier () with
   | Error e -> Alcotest.fail e
   | Ok res ->
-    Array.iteri
-      (fun i lat ->
-        check Alcotest.bool (Printf.sprintf "node %d measured" i) true (lat > 0.0);
-        if Dfg.is_memory_node dfg i then
-          check Alcotest.bool (Printf.sprintf "node %d amat" i) true (res.Engine.amat.(i) > 0.0))
-      res.Engine.node_latency;
-    check Alcotest.bool "edges measured" true (List.length res.Engine.edge_samples > 0);
+    let m = res.Engine.measured in
+    let hist_mean name =
+      match Stats.find_hist m name with
+      | Some h when h.Stats.hcount > 0 -> Stats.hist_mean h
+      | Some _ | None -> 0.0
+    in
+    for i = 0 to Dfg.node_count dfg - 1 do
+      check Alcotest.bool (Printf.sprintf "node %d measured" i) true
+        (hist_mean (Printf.sprintf "node.%d.latency" i) > 0.0);
+      if Dfg.is_memory_node dfg i then
+        check Alcotest.bool (Printf.sprintf "node %d amat" i) true
+          (hist_mean (Printf.sprintf "node.%d.amat" i) > 0.0)
+    done;
+    check Alcotest.bool "edges measured" true (List.length (Stats.hists_under m "edge") > 0);
     check Alcotest.bool "fp ops counted" true
       (res.Engine.activity.Activity.fp_ops = 11 * res.Engine.iterations)
 

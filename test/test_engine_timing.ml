@@ -52,10 +52,12 @@ let noc_contention_measured () =
   let res = run_config ~tiling:4 k in
   check Alcotest.bool "activity recorded" true
     (res.Engine.activity.Activity.local_transfers > 0);
+  let edges = Stats.hists_under res.Engine.measured "edge" in
+  check Alcotest.bool "edges measured" true (List.length edges > 0);
   List.iter
-    (fun ((_, _), lat) ->
-      check Alcotest.bool "measured >= 1 cycle" true (lat >= 1.0))
-    res.Engine.edge_samples
+    (fun (_, h) ->
+      check Alcotest.bool "measured >= 1 cycle" true (Stats.hist_mean h >= 1.0))
+    edges
 
 let interconnect_kind_changes_timing () =
   let k = Workloads.find "kmeans" in

@@ -98,6 +98,8 @@ let cpu_energy_model () =
       fp_ops = 300;
       branches = 200;
       load_latency_sum = 2000;
+      rob_stalls = 0;
+      fetch_refills = 0;
     }
   in
   let e = Energy_model.cpu_energy_nj s in
