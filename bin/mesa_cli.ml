@@ -153,6 +153,29 @@ let run_cmd =
             "Write the offload/region timeline to $(docv) in Chrome trace_event \
              format (load in chrome://tracing or Perfetto).")
   in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            "Arm a deterministic fault schedule: comma-separated \
+             KIND@AT[:ROWxCOL] events where KIND is transient, permanent, \
+             link, config or ports; AT is the fabric iteration (or \
+             configuration-write ordinal for config) at which the event \
+             fires; ROWxCOL pins the victim PE. Example: \
+             'transient@100,permanent@300:2x5,config@1'.")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt int 0x5EED
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:
+            "PRNG seed for the fault injector's drawn victims and corruption \
+             values; with --inject, the whole run is reproducible from SPEC \
+             and $(docv) alone.")
+  in
   let write_file path contents =
     try
       let oc = open_out path in
@@ -162,14 +185,22 @@ let run_cmd =
       Ok ()
     with Sys_error e -> Error (`Msg ("cannot write " ^ e))
   in
-  let run name pes no_opt no_iter stats_json trace_out =
-    Result.bind (find_kernel name)
-      (fun k ->
+  let parse_inject fault_seed = function
+    | None -> Ok None
+    | Some s ->
+      Result.map_error
+        (fun e -> `Msg ("bad --inject spec: " ^ e))
+        (Result.map Option.some (Fault.spec_of_string ~seed:fault_seed s))
+  in
+  let run name pes no_opt no_iter inject fault_seed stats_json trace_out =
+    Result.bind (find_kernel name) (fun (k : Kernel.t) ->
+        Result.bind (parse_inject fault_seed inject) (fun inject ->
         let grid = grid_of pes in
         let single = Runner.single_core k in
         let multi = Runner.multicore k in
         let mesa, report =
-          Runner.mesa ~grid ~optimize:(not no_opt) ~iterative:(not no_iter) k
+          Runner.mesa ~grid ~optimize:(not no_opt) ~iterative:(not no_iter)
+            ?inject k
         in
         let t =
           Tables.create
@@ -203,15 +234,37 @@ let run_cmd =
           report.Controller.mesa_busy_cycles;
         List.iter
           (fun (r : Controller.region_report) ->
-            if r.Controller.accepted then
+            if r.Controller.accepted then begin
               Printf.printf
                 "region 0x%x: %d instrs, tiling x%d, %d iterations on fabric, %d reconfiguration(s)\n"
                 r.Controller.entry r.Controller.size r.Controller.tiling
-                r.Controller.accel_iterations r.Controller.reconfigurations
+                r.Controller.accel_iterations r.Controller.reconfigurations;
+              if
+                r.Controller.faults_detected > 0
+                || r.Controller.reject_reason <> None
+              then
+                Printf.printf
+                  "  faults: %d detected, %d retried, %d remap(s), %d quarantine(s)%s\n"
+                  r.Controller.faults_detected r.Controller.fault_retries
+                  r.Controller.fault_remaps r.Controller.quarantines
+                  (match r.Controller.reject_reason with
+                  | Some why -> "; aborted: " ^ why
+                  | None -> "")
+            end
             else
               Printf.printf "region 0x%x rejected: %s\n" r.Controller.entry
                 (Option.value r.Controller.reject_reason ~default:"?"))
           report.Controller.regions;
+        (if inject <> None then
+           let g p =
+             match Stats.find report.Controller.stats ("faults." ^ p) with
+             | Some (Stats.VInt i) -> i
+             | _ -> 0
+           in
+           Printf.printf
+             "fault summary: %d injected, %d detected, %d retried, %d remapped, %d quarantined, %d config upset(s)\n"
+             (g "injected") (g "detected") (g "retried") (g "remapped")
+             (g "quarantined") (g "config_upsets"));
         let dump what path json =
           match path with
           | None -> Ok ()
@@ -223,13 +276,15 @@ let run_cmd =
         Result.bind
           (dump "stats" stats_json (Stats.to_json report.Controller.stats))
           (fun () ->
-            dump "trace" trace_out (Trace.to_chrome_json report.Controller.timeline)))
+            dump "trace" trace_out
+              (Trace.to_chrome_json report.Controller.timeline))))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a kernel under MESA against the CPU baselines")
     Term.(
       term_result
-        (const run $ kernel_arg $ grid_arg $ no_opt $ no_iter $ stats_json $ trace_out))
+        (const run $ kernel_arg $ grid_arg $ no_opt $ no_iter $ inject_arg
+       $ fault_seed $ stats_json $ trace_out))
 
 (* ---------------- schedule ---------------- *)
 
@@ -272,7 +327,16 @@ let anneal_cmd =
   let proposals =
     Arg.(value & opt int 2000 & info [ "proposals" ] ~doc:"Annealing proposals.")
   in
-  let run name pes proposals =
+  let seed =
+    Arg.(
+      value
+      & opt int 0x5A5A
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "PRNG seed for the annealer's proposal/acceptance draws; runs \
+             with the same seed are bit-identical.")
+  in
+  let run name pes proposals seed =
     Result.bind (find_kernel name) (fun k ->
         let grid = grid_of pes in
         let dfg = Runner.dfg_of_kernel k in
@@ -281,7 +345,8 @@ let anneal_cmd =
         | Error e -> Error (`Msg e)
         | Ok greedy ->
           let refined, stats =
-            Mapper_anneal.refine ~proposals ~grid ~kind:Interconnect.Mesh_noc ~model greedy
+            Mapper_anneal.refine ~seed ~proposals ~grid ~kind:Interconnect.Mesh_noc
+              ~model greedy
           in
           Format.printf "%a@." Placement.pp refined;
           Printf.printf
@@ -294,7 +359,7 @@ let anneal_cmd =
   Cmd.v
     (Cmd.info "anneal"
        ~doc:"Refine Algorithm 1's placement with simulated annealing (future-work mapper)")
-    Term.(term_result (const run $ kernel_arg $ grid_arg $ proposals))
+    Term.(term_result (const run $ kernel_arg $ grid_arg $ proposals $ seed))
 
 (* ---------------- bench ---------------- *)
 

@@ -1,7 +1,15 @@
+type detection = {
+  d_kinds : Fault.kind list;
+  d_latency : int;
+  d_watchdog : bool;
+}
+
 type result = {
   cycles : int;
   iterations : int;
   completed : bool;
+  budget_exhausted : bool;
+  fault : detection option;
   exit_pc : int;
   activity : Activity.t;
   measured : Stats.snapshot;
@@ -12,7 +20,8 @@ let s32 = Machine.to_s32
 
 exception Exec_fail of string
 
-let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t) ~(dfg : Dfg.t)
+let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window = 512)
+    ~(config : Accel_config.t) ~(dfg : Dfg.t)
     ~(machine : Machine.t) ~(hier : Hierarchy.t) () =
   match Placement.validate dfg config.placement with
   | Error e -> Error ("invalid placement: " ^ e)
@@ -38,9 +47,28 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
     let vf = Array.make n 0.0 in
     let in_x = Array.init Reg.count (Machine.get_x machine) in
     let in_f = Array.init Reg.count (Machine.get_f machine) in
+    (* Fault bookkeeping: PE coordinate per node (LS entries are not fault
+       targets) and the effective cache-port count after degradation. Port
+       loss is sampled at window start; a mid-window ports event takes
+       effect from the next window. *)
+    let pe_coord =
+      Array.init n (fun i ->
+          match Placement.loc_of pl i with
+          | Placement.Pe c -> Some c
+          | Placement.Ls _ -> None)
+    in
+    (match fault with
+    | Some f ->
+      Fault.begin_window f
+        ~used:(List.filter_map Fun.id (Array.to_list pe_coord))
+    | None -> ());
+    let effective_ports =
+      let lost = match fault with Some f -> Fault.ports_lost f | None -> 0 in
+      max 1 (grid.Grid.mem_ports - lost)
+    in
     (* Timing state. *)
     let completes = Array.make n 0.0 in
-    let ports = Contention.create ~capacity:grid.Grid.mem_ports in
+    let ports = Contention.create ~capacity:effective_ports in
     (* Tiled instances occupy disjoint physical regions, so each gets its
        own router slices; keys are (instance, slice). *)
     let noc : (int * int, Contention.t) Hashtbl.t = Hashtbl.create 16 in
@@ -127,17 +155,48 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
       delay
     in
     let accel_lat cls = float_of_int (Latency.accel cls) in
+    (* Corrupt node [j]'s output latch: stuck-at [value] for permanent
+       damage, xor-flip for a transient strike. Branch latches stick at /
+       flip toward "taken" so a damaged back branch spins (the watchdog
+       scenario). Returns whether the latched value actually changed. *)
+    let corrupt_latch j ~value ~stuck =
+      let nd = nodes.(j) in
+      if Isa.op_class nd.Dfg.instr = Isa.C_branch then begin
+        let old = vx.(j) in
+        vx.(j) <- (if stuck then 1 else if old <> 0 then 0 else 1);
+        vx.(j) <> old
+      end
+      else if Isa.writes_int nd.Dfg.instr <> None then begin
+        let old = vx.(j) in
+        vx.(j) <- s32 (if stuck then value else old lxor value);
+        vx.(j) <> old
+      end
+      else if Isa.writes_fp nd.Dfg.instr <> None then begin
+        let old = vf.(j) in
+        let bits = Interp.Alu.fmv_x_w old in
+        vf.(j) <- Interp.Alu.fmv_w_x (if stuck then value else bits lxor value);
+        vf.(j) <> old
+      end
+      else false
+    in
     let run () =
       let iterations = ref 0 in
       let end_time = ref 0.0 in
       let exit_reached = ref false in
       let paused = ref false in
+      let budget_hit = ref false in
+      let watchdog_fired = ref false in
+      let first_corrupt = ref None in
+      let corrupt_iters = ref 0 in
       (* Stores observed so far in the current iteration, newest first. *)
       let iter_stores = ref [] in
       while not !exit_reached do
         let inst = !iterations mod tiling in
         let iter_start = inst_next.(inst) in
         iter_stores := [];
+        let strikes =
+          match fault with None -> [] | Some f -> (Fault.tick f).Fault.strikes
+        in
         (* Iterative (non-pipelined) units bound reuse of their PE; all other
            PEs are internally pipelined. *)
         let fu_bound = ref 1.0 in
@@ -294,7 +353,29 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
           (match cls with
           | Isa.C_div | Isa.C_fdiv -> fu_bound := Float.max !fu_bound !oplat
           | _ -> ());
-          completes.(j) <- !arrival +. !oplat
+          completes.(j) <- !arrival +. !oplat;
+          (* Fault application: the latch corrupts after the node fires, so
+             same-iteration consumers already see the bad value. *)
+          (match (fault, pe_coord.(j)) with
+          | Some f, Some c ->
+            let applied =
+              match List.find_opt (fun (d, _, _) -> d = c) (Fault.dead f) with
+              | Some (_, k, v) ->
+                if corrupt_latch j ~value:v ~stuck:true then Some k else None
+              | None -> (
+                match List.find_opt (fun s -> s.Fault.s_coord = c) strikes with
+                | Some s ->
+                  if corrupt_latch j ~value:s.Fault.s_value ~stuck:false then
+                    Some Fault.Transient_pe
+                  else None
+                | None -> None)
+            in
+            (match applied with
+            | Some k ->
+              Fault.note_corruption f k;
+              if !first_corrupt = None then first_corrupt := Some iter_start
+            | None -> ())
+          | _ -> ())
         done;
         let iter_latency = Array.fold_left Float.max 0.0 completes in
         if Sys.getenv_opt "MESA_ENGINE_DEBUG" <> None && !iterations < 40 then
@@ -316,7 +397,7 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
                1.0 (Dfg.loop_carried dfg)
            in
            let ii_mem =
-             float_of_int (Stats.div_ceil !mem_accesses (max 1 grid.Grid.mem_ports))
+             float_of_int (Stats.div_ceil !mem_accesses effective_ports)
            in
            let ii = Float.max (Float.max ii_rec ii_mem) !fu_bound in
            Stats.observe ii_achieved ii;
@@ -328,10 +409,24 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
          end);
         if not continue_loop then exit_reached := true
         else begin
+          (* Watchdog: a corrupted window that keeps spinning is cut off
+             after [watchdog_window] further iterations — the forward-
+             progress bound a damaged back branch would otherwise defeat. *)
+          (match fault with
+          | Some f when Fault.window_corrupted f ->
+            incr corrupt_iters;
+            if !corrupt_iters >= watchdog_window then begin
+              watchdog_fired := true;
+              paused := true
+            end
+          | Some _ | None -> ());
           (match stop_after with
           | Some k when !iterations >= k -> paused := true
           | Some _ | None -> ());
-          if !iterations >= max_iterations then paused := true;
+          if !iterations >= max_iterations then begin
+            budget_hit := true;
+            paused := true
+          end;
           if !paused then exit_reached := true
         end
       done;
@@ -341,10 +436,24 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ~(config : Accel_config.t)
       List.iter (fun (r, src) -> Machine.set_f machine r (val_f src)) dfg.Dfg.live_out_f;
       machine.Machine.pc <- (if !paused then dfg.Dfg.entry_addr else dfg.Dfg.exit_addr);
       act.Activity.cycles <- int_of_float (Float.ceil !end_time);
+      let detection =
+        match fault with
+        | Some f when Fault.window_corrupted f ->
+          let fc = Option.value !first_corrupt ~default:!end_time in
+          Some
+            {
+              d_kinds = Fault.window_kinds f;
+              d_latency = max 0 (int_of_float (Float.ceil (!end_time -. fc)));
+              d_watchdog = !watchdog_fired;
+            }
+        | Some _ | None -> None
+      in
       {
         cycles = act.Activity.cycles;
         iterations = !iterations;
         completed = not !paused;
+        budget_exhausted = !budget_hit;
+        fault = detection;
         exit_pc = machine.Machine.pc;
         activity = act;
         measured = Stats.snapshot reg;

@@ -22,11 +22,26 @@
     The loop runs until its backward branch falls through, like the
     hardware: MESA only regains control at loop exit. *)
 
+type detection = {
+  d_kinds : Fault.kind list;  (** corruption kinds applied this window *)
+  d_latency : int;
+      (** cycles between the first applied corruption and the end of the
+          window — the modeled end-of-window checksum's detection latency *)
+  d_watchdog : bool;
+      (** the forward-progress watchdog (not the checksum) cut the window
+          off: the corrupted loop was spinning *)
+}
+
 type result = {
   cycles : int;                       (** makespan of the accelerated loop *)
   iterations : int;
   completed : bool;                   (** false when [stop_after] paused the
                                           loop before its exit condition *)
+  budget_exhausted : bool;            (** [max_iterations] hit: the safety
+                                          budget, not a profiling pause *)
+  fault : detection option;
+      (** corruption was applied and detected this window; the architectural
+          writeback is suspect and the caller must restore its checkpoint *)
   exit_pc : int;
   activity : Activity.t;
   measured : Stats.snapshot;
@@ -45,6 +60,8 @@ type result = {
 val execute :
   ?max_iterations:int ->
   ?stop_after:int ->
+  ?fault:Fault.t ->
+  ?watchdog_window:int ->
   config:Accel_config.t ->
   dfg:Dfg.t ->
   machine:Machine.t ->
@@ -55,12 +72,24 @@ val execute :
     state. On success the machine holds the post-loop architectural state
     (registers, PC at the loop's exit address) and [machine.mem] holds every
     store's effect. Fails (leaving partial memory effects) if the placement
-    is invalid for the DFG or [max_iterations] (default 4 million) is
-    exceeded.
+    is invalid for the DFG. Exceeding [max_iterations] (default 4 million)
+    pauses like [stop_after] but flags [budget_exhausted] so the caller can
+    abort the offload rather than resume forever.
 
     [stop_after] pauses execution after that many iterations if the loop has
     not exited: live-outs are written back, the PC is left at the loop entry,
     and the result carries [completed = false] — so the controller can
     inspect the counters, possibly reconfigure, and re-invoke [execute] to
     resume (or hand the loop back to the CPU). This models MESA's profiling
-    windows for iterative optimization. *)
+    windows for iterative optimization.
+
+    [fault] attaches a fault injector: due events fire as the loop iterates,
+    corrupting node output latches (transient flips, permanent stuck-ats)
+    and degrading cache ports. A corrupted window is reported through
+    [result.fault]; a corrupted window that stops making forward progress is
+    cut off by a watchdog after [watchdog_window] (default 512) further
+    iterations. Corrupted values reaching stores do corrupt [machine.mem] —
+    the caller checkpoints before the window and restores on detection. Wild
+    corrupted addresses may escape as [Invalid_argument]; callers injecting
+    faults should treat any exception with [Fault.window_corrupted] set as a
+    detected fault. *)

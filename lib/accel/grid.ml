@@ -11,6 +11,7 @@ type t = {
   mem_ports : int;
   slice_width : int;
   name : string;
+  masked : coord list;
 }
 
 let make ?(fp_tile = 2) ?(mem_ports = 2) ?(slice_width = 4) ?name ~rows ~cols () =
@@ -24,6 +25,7 @@ let make ?(fp_tile = 2) ?(mem_ports = 2) ?(slice_width = 4) ?name ~rows ~cols ()
     mem_ports;
     slice_width;
     name;
+    masked = [];
   }
 
 let m64 = make ~rows:16 ~cols:4 ~name:"M-64" ()
@@ -38,12 +40,23 @@ let of_pe_count n =
 
 let pe_count t = t.rows * t.cols
 let in_bounds t c = c.row >= 0 && c.row < t.rows && c.col >= 0 && c.col < t.cols
+let is_masked t c = List.mem c t.masked
+
+let mask t coords =
+  let fresh =
+    List.filter (fun c -> in_bounds t c && not (is_masked t c)) coords
+  in
+  let fresh = List.sort_uniq compare fresh in
+  if fresh = [] then t else { t with masked = t.masked @ fresh }
+
+let healthy_pe_count t = pe_count t - List.length t.masked
 
 let has_fp t c =
   ((c.row / t.fp_tile) + (c.col / t.fp_tile)) mod 2 = 0
 
 let supports t c (cls : Isa.op_class) =
   in_bounds t c
+  && (not (is_masked t c))
   &&
   match cls with
   | Isa.C_alu | Isa.C_mul | Isa.C_div | Isa.C_branch -> true

@@ -19,6 +19,7 @@ type t = {
   mem_ports : int;      (** cache ports shared by all LS entries *)
   slice_width : int;    (** PEs per NoC router slice (Figure 9: 4) *)
   name : string;
+  masked : coord list;  (** PEs masked out of the fabric (fault recovery) *)
 }
 
 val make :
@@ -36,6 +37,16 @@ val of_pe_count : int -> t
 
 val pe_count : t -> int
 val in_bounds : t -> coord -> bool
+
+val mask : t -> coord list -> t
+(** Mask PEs out of the fabric: {!supports} rejects them, so placement and
+    validation route around the damage. Out-of-bounds and already-masked
+    coordinates are ignored; masking nothing returns [t] unchanged. *)
+
+val is_masked : t -> coord -> bool
+
+val healthy_pe_count : t -> int
+(** [pe_count] minus the masked PEs — the capacity the tiler may assume. *)
 
 val has_fp : t -> coord -> bool
 (** Whether the PE at [coord] has FP logic (checkerboard of [fp_tile]^2

@@ -8,6 +8,14 @@ type cached = {
   mutable translation_cycles : int;
   mutable accel_iterations : int;
   mutable accel_cycles : int;
+  (* Fault-recovery bookkeeping (all zero on a clean run). *)
+  mutable faults_detected : int;
+  mutable fault_retries : int;
+  mutable fault_remaps : int;
+  mutable quarantines : int;
+  mutable quarantined_until : int;   (* offload ordinal; 0 = not quarantined *)
+  mutable quarantine_backoff : int;
+  mutable abort_reason : string option;
 }
 
 type t = { table : (int, cached) Hashtbl.t }

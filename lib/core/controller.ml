@@ -10,10 +10,15 @@ type options = {
   max_reopts : int;
   offload_overhead : int;
   max_steps : int;
+  engine_max_iterations : int;
+  watchdog_window : int;
+  max_fault_retries : int;
+  inject : Fault.spec option;
   tune : Accel_config.t -> Accel_config.t;
 }
 
-let default_options ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true) () =
+let default_options ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true)
+    ?inject () =
   let capacity = min 512 (Grid.pe_count grid + grid.Grid.ls_entries) in
   {
     grid;
@@ -27,6 +32,10 @@ let default_options ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true) (
     max_reopts = 3;
     offload_overhead = 80;
     max_steps = 200_000_000;
+    engine_max_iterations = 4_000_000;
+    watchdog_window = 512;
+    max_fault_retries = 3;
+    inject;
     tune = Fun.id;
   }
 
@@ -43,6 +52,10 @@ type region_report = {
   accel_cycles : int;
   reconfigurations : int;
   offload_count : int;
+  faults_detected : int;
+  fault_retries : int;
+  fault_remaps : int;
+  quarantines : int;
 }
 
 type report = {
@@ -65,9 +78,27 @@ let src = Logs.Src.create "mesa.controller" ~doc:"MESA controller"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Build the optimization bundle for [dfg]'s model on [grid] — shared by
+   initial translation and by post-fault remapping onto a degraded fabric. *)
+let configure opts ~grid ~dfg ~model ~pragma =
+  match Mapper.map ~config:opts.mapper ~grid ~kind:opts.kind model with
+  | Error e -> Error e
+  | Ok placement ->
+    let mo = if opts.optimize then Mem_opt.analyze dfg else Mem_opt.none in
+    let ld =
+      if opts.optimize then Loop_opt.decide ~grid ~dfg ~pragma
+      else Loop_opt.no_opt
+    in
+    Ok
+      (opts.tune
+         (Accel_config.with_opts ~forwarding:mo.Mem_opt.forwarding
+            ~vector_groups:mo.Mem_opt.vector_groups ~prefetched:mo.Mem_opt.prefetched
+            ~tiling:ld.Loop_opt.tiling ~pipelined:ld.Loop_opt.pipelined placement))
+
 (* Translate an accepted region end to end: capture through the trace cache,
-   build the LDFG, map it, and bundle the optimization decisions. *)
-let translate opts prog (region : Region.t) =
+   build the LDFG, map it, and bundle the optimization decisions. [grid] is
+   the current (possibly fault-degraded) fabric. *)
+let translate opts ~grid prog (region : Region.t) =
   let tc = Trace_cache.create ~capacity:opts.detector.Loop_detector.capacity in
   Trace_cache.set_region tc ~entry:region.Region.entry ~last:region.Region.back_branch_addr;
   Trace_cache.fill_from tc (fun addr ->
@@ -85,21 +116,9 @@ let translate opts prog (region : Region.t) =
       (* Deduplicate recomputed pure values before burning PEs on them. *)
       let dfg = if opts.optimize then fst (Cse.apply dfg) else dfg in
       let model = Perf_model.create dfg in
-      match Mapper.map ~config:opts.mapper ~grid:opts.grid ~kind:opts.kind model with
+      match configure opts ~grid ~dfg ~model ~pragma:region.Region.pragma with
       | Error e -> Error e
-      | Ok placement ->
-        let mo = if opts.optimize then Mem_opt.analyze dfg else Mem_opt.none in
-        let ld =
-          if opts.optimize then
-            Loop_opt.decide ~grid:opts.grid ~dfg ~pragma:region.Region.pragma
-          else Loop_opt.no_opt
-        in
-        let config =
-          opts.tune
-            (Accel_config.with_opts ~forwarding:mo.Mem_opt.forwarding
-               ~vector_groups:mo.Mem_opt.vector_groups ~prefetched:mo.Mem_opt.prefetched
-               ~tiling:ld.Loop_opt.tiling ~pipelined:ld.Loop_opt.pipelined placement)
-        in
+      | Ok config ->
         Ok
           {
             Config_manager.region;
@@ -111,6 +130,13 @@ let translate opts prog (region : Region.t) =
             translation_cycles = 0;
             accel_iterations = 0;
             accel_cycles = 0;
+            faults_detected = 0;
+            fault_retries = 0;
+            fault_remaps = 0;
+            quarantines = 0;
+            quarantined_until = 0;
+            quarantine_backoff = 0;
+            abort_reason = None;
           })
   end
 
@@ -145,6 +171,25 @@ let run ?options ?hier ?stats prog machine =
   let regions_accepted = Stats.counter ctl "regions_accepted" in
   let regions_rejected = Stats.counter ctl "regions_rejected" in
   let config_cache_hits = Stats.counter ctl "config_cache_hits" in
+  let budget_aborts = Stats.counter ctl "iteration_budget_aborts" in
+  (* Fault injection and recovery. The [faults] group is always registered
+     (all-zero on a clean run, which the golden test pins). *)
+  let injector =
+    match opts.inject with
+    | None -> None
+    | Some sp -> Some (Fault.create ~grid:opts.grid sp)
+  in
+  (* The live fabric: pristine until permanent damage is masked out. *)
+  let fabric = ref opts.grid in
+  let faults_grp = Stats.group reg "faults" in
+  Stats.int_probe faults_grp "injected" (fun () ->
+      match injector with Some f -> Fault.injected f | None -> 0);
+  let f_detected = Stats.counter faults_grp "detected" in
+  let f_retried = Stats.counter faults_grp "retried" in
+  let f_remapped = Stats.counter faults_grp "remapped" in
+  let f_quarantined = Stats.counter faults_grp "quarantined" in
+  let f_config_upsets = Stats.counter faults_grp "config_upsets" in
+  let f_latency = Stats.histogram faults_grp "detection_latency" in
   let cpu_cycles_now () = (Ooo_model.summary cpu_model).Ooo_model.cycles in
   Stats.int_probe ctl "cpu_cycles" cpu_cycles_now;
   Stats.int_probe ctl "total_cycles" (fun () ->
@@ -154,6 +199,26 @@ let run ?options ?hier ?stats prog machine =
   let wall_now () = cpu_cycles_now () + Stats.get accel_cycles + Stats.get overhead in
   let emit sp = timeline := sp :: !timeline in
   let rname entry = Printf.sprintf "r%x" entry in
+  (* One configuration write of [base] cycles, re-paid for every scheduled
+     bitstream upset the checksum catches (each retry is itself a fresh
+     write the schedule may hit again). *)
+  let config_write_cost entry base =
+    match injector with
+    | None -> base
+    | Some f ->
+      let cost = ref base in
+      while Fault.config_write f do
+        Stats.incr f_config_upsets;
+        Stats.incr f_detected;
+        Stats.incr f_retried;
+        emit
+          (Trace.instant ~cat:"fault" ~ts:(wall_now ())
+             ~args:[ ("rewrite_cycles", Json.Int base) ]
+             ("config upset " ^ rname entry));
+        cost := !cost + base
+      done;
+      !cost
+  in
   let rejected : region_report list ref = ref [] in
   (* A configuration being written while the CPU keeps running: ready once
      the CPU clock passes [ready_at]. *)
@@ -167,15 +232,158 @@ let run ?options ?hier ?stats prog machine =
     let entry = c.Config_manager.region.Region.entry in
     let budget = ref (if opts.iterative then opts.max_reopts else 0) in
     let running = ref true in
+    let consecutive_faults = ref 0 in
     while !running do
       let stop_after = if !budget > 0 then Some opts.profile_chunk else None in
       let window_start = wall_now () in
-      match
-        Engine.execute ?stop_after ~config:c.Config_manager.config
-          ~dfg:c.Config_manager.dfg ~machine ~hier ()
-      with
-      | Error e -> failwith ("MESA engine failure: " ^ e)
-      | Ok res ->
+      (* Iteration-boundary checkpoint: the PC sits at the loop entry here
+         (both at offload start and after a profiling pause), so restoring
+         it hands the loop back to the CPU — or to a retried window — in a
+         bit-exact state. Only paid when a fault schedule is armed. *)
+      let checkpoint =
+        match injector with
+        | None -> None
+        | Some _ ->
+          Some (Machine.copy machine (), Main_memory.copy machine.Machine.mem)
+      in
+      let restore () =
+        match checkpoint with
+        | Some (m, mem) ->
+          Machine.restore machine ~from:m;
+          Main_memory.restore machine.Machine.mem ~from:mem
+        | None -> ()
+      in
+      let quarantine reason =
+        c.Config_manager.quarantine_backoff <-
+          (if c.Config_manager.quarantine_backoff = 0 then 8
+           else c.Config_manager.quarantine_backoff * 2);
+        c.Config_manager.quarantined_until <- c.Config_manager.quarantine_backoff;
+        c.Config_manager.quarantines <- c.Config_manager.quarantines + 1;
+        c.Config_manager.abort_reason <- Some reason;
+        Stats.incr f_quarantined;
+        emit
+          (Trace.instant ~cat:"fault" ~ts:(wall_now ())
+             ~args:
+               [
+                 ("reason", Json.String reason);
+                 ("backoff", Json.Int c.Config_manager.quarantine_backoff);
+               ]
+             ("quarantine " ^ rname entry));
+        Log.debug (fun m ->
+            m "quarantining %a: %s" Region.pp c.Config_manager.region reason);
+        running := false
+      in
+      (* The recovery ladder: restore the checkpoint, then retry (transient),
+         remap around masked damage (permanent), or quarantine with
+         exponential backoff and let the CPU finish bit-exactly. *)
+      let handle_fault ~kinds ~latency ~watchdog ~wasted =
+        restore ();
+        Stats.incr windows;
+        Stats.incr f_detected;
+        Stats.observe f_latency (float_of_int latency);
+        c.Config_manager.faults_detected <- c.Config_manager.faults_detected + 1;
+        (* The discarded window and the state transfer back are recovery
+           overhead, not useful accelerator work. *)
+        Stats.add overhead (wasted + opts.offload_overhead);
+        emit
+          (Trace.span ~cat:"fault" ~ts:window_start ~dur:(max 1 wasted)
+             ~args:
+               [
+                 ( "kinds",
+                   Json.String
+                     (String.concat "+" (List.map Fault.kind_name kinds)) );
+                 ("detection_latency", Json.Int latency);
+                 ("watchdog", Json.Bool watchdog);
+               ]
+             ("fault " ^ rname entry));
+        let f = Option.get injector in
+        let permanent =
+          List.exists
+            (fun k -> k = Fault.Permanent_pe || k = Fault.Link_down)
+            kinds
+        in
+        if permanent then begin
+          if List.length (Fault.dead f) > List.length (!fabric).Grid.masked
+          then begin
+            (* New permanent damage: mask it out of the pristine geometry
+               (cumulatively) and re-run placement on what is left. *)
+            fabric := Grid.mask opts.grid (Fault.dead_coords f);
+            match
+              configure opts ~grid:!fabric ~dfg:c.Config_manager.dfg
+                ~model:c.Config_manager.model
+                ~pragma:c.Config_manager.region.Region.pragma
+            with
+            | Ok config' ->
+              let stall =
+                config_write_cost entry
+                  (Mapper.map_cycles opts.mapper c.Config_manager.dfg
+                  + Accel_config.config_cycles config' c.Config_manager.dfg)
+              in
+              c.Config_manager.config <- config';
+              c.Config_manager.fault_remaps <-
+                c.Config_manager.fault_remaps + 1;
+              Stats.incr f_remapped;
+              Stats.add overhead stall;
+              Stats.add mesa_busy stall;
+              consecutive_faults := 0;
+              emit
+                (Trace.span ~cat:"fault" ~ts:(wall_now ()) ~dur:stall
+                   ~args:
+                     [
+                       ( "masked_pes",
+                         Json.Int (List.length (!fabric).Grid.masked) );
+                     ]
+                   ("remap " ^ rname entry));
+              Log.debug (fun m ->
+                  m "remapped %a around %d masked PEs" Region.pp
+                    c.Config_manager.region
+                    (List.length (!fabric).Grid.masked))
+            | Error e -> quarantine ("remap failed: " ^ e)
+          end
+          else quarantine "permanent fault persists after remap"
+        end
+        else begin
+          incr consecutive_faults;
+          if !consecutive_faults > opts.max_fault_retries then
+            quarantine "persistent faults exceeded retry budget"
+          else begin
+            c.Config_manager.fault_retries <-
+              c.Config_manager.fault_retries + 1;
+            Stats.incr f_retried;
+            emit
+              (Trace.instant ~cat:"fault" ~ts:(wall_now ())
+                 ~args:[ ("attempt", Json.Int !consecutive_faults) ]
+                 ("retry " ^ rname entry))
+          end
+        end
+      in
+      let outcome =
+        try
+          `R
+            (Engine.execute ?stop_after
+               ~max_iterations:opts.engine_max_iterations
+               ~watchdog_window:opts.watchdog_window ?fault:injector
+               ~config:c.Config_manager.config ~dfg:c.Config_manager.dfg
+               ~machine ~hier ())
+        with exn -> (
+          match injector with
+          | Some f when Fault.window_corrupted f ->
+            `Crashed (Fault.window_kinds f)
+          | Some _ | None -> raise exn)
+      in
+      match outcome with
+      | `Crashed kinds ->
+        (* A corrupted value escaped as a wild memory access before the
+           window ended: an immediately detected fault. *)
+        handle_fault ~kinds ~latency:0 ~watchdog:false ~wasted:0
+      | `R (Error e) -> failwith ("MESA engine failure: " ^ e)
+      | `R (Ok res) -> (
+        match res.Engine.fault with
+        | Some d ->
+          handle_fault ~kinds:d.Engine.d_kinds ~latency:d.Engine.d_latency
+            ~watchdog:d.Engine.d_watchdog ~wasted:res.Engine.cycles
+        | None ->
+        consecutive_faults := 0;
         Stats.add accel_cycles res.Engine.cycles;
         Stats.incr windows;
         Activity.add activity res.Engine.activity;
@@ -191,12 +399,25 @@ let run ?options ?hier ?stats prog machine =
                ]
              ("offload " ^ rname entry));
         if res.Engine.completed then running := false
+        else if res.Engine.budget_exhausted then begin
+          (* The safety budget is a distinct abort, not a silent pause: hand
+             the loop back to the CPU (the paused state is architecturally
+             consistent) and stop re-arming this region. *)
+          Stats.incr budget_aborts;
+          c.Config_manager.abort_reason <- Some "iteration budget exhausted";
+          c.Config_manager.quarantined_until <- max_int;
+          emit
+            (Trace.instant ~cat:"mesa" ~ts:(wall_now ())
+               ~args:[ ("iterations", Json.Int res.Engine.iterations) ]
+               ("budget abort " ^ rname entry));
+          running := false
+        end
         else if !budget > 0 then begin
           decr budget;
           Stats.incr reopt_rounds;
           Optimizer.absorb c.Config_manager.model res;
           match
-            Optimizer.step ~grid:opts.grid ~kind:opts.kind ~mapper:opts.mapper
+            Optimizer.step ~grid:!fabric ~kind:opts.kind ~mapper:opts.mapper
               ~model:c.Config_manager.model ~current:c.Config_manager.config
           with
           | Optimizer.Adopt { config = config'; latency; previous } ->
@@ -215,6 +436,7 @@ let run ?options ?hier ?stats prog machine =
               c.Config_manager.config <- config';
               c.Config_manager.reconfigurations <- c.Config_manager.reconfigurations + 1;
               Stats.incr reconfigurations;
+              let stall = config_write_cost entry stall in
               emit
                 (Trace.span ~cat:"mesa" ~ts:(wall_now ()) ~dur:stall
                    ~args:
@@ -228,7 +450,7 @@ let run ?options ?hier ?stats prog machine =
             end
             else budget := 0
           | Optimizer.Keep _ -> budget := 0
-        end
+        end)
     done
   in
 
@@ -248,11 +470,19 @@ let run ?options ?hier ?stats prog machine =
       | Some _ -> ()
       | None -> (
         match Config_manager.find cache machine.Machine.pc with
+        | Some c when c.Config_manager.quarantined_until > 0 ->
+          (* Quarantined region: the CPU runs the loop; each entry
+             encounter burns down the exponential backoff before MESA is
+             allowed to re-arm it. *)
+          c.Config_manager.quarantined_until <-
+            c.Config_manager.quarantined_until - 1
         | Some c ->
           (* Config-cache hit on re-entering a known loop: rewrite the
              bitstream while the CPU keeps iterating. *)
           let cost =
-            Config_manager.cache_hit_cycles c.Config_manager.config c.Config_manager.dfg
+            config_write_cost c.Config_manager.region.Region.entry
+              (Config_manager.cache_hit_cycles c.Config_manager.config
+                 c.Config_manager.dfg)
           in
           Stats.add mesa_busy cost;
           Stats.incr config_cache_hits;
@@ -268,11 +498,12 @@ let run ?options ?hier ?stats prog machine =
         Ooo_model.feed cpu_model ev;
         match Loop_detector.feed detector ev with
         | Some (Loop_detector.Accepted region) -> (
-          match translate opts prog region with
+          match translate opts ~grid:!fabric prog region with
           | Ok cached ->
             let tcycles =
-              Config_manager.translation_cycles opts.mapper cached.Config_manager.dfg
-                cached.Config_manager.config
+              config_write_cost region.Region.entry
+                (Config_manager.translation_cycles opts.mapper
+                   cached.Config_manager.dfg cached.Config_manager.config)
             in
             cached.Config_manager.translation_cycles <- tcycles;
             Stats.add mesa_busy tcycles;
@@ -291,7 +522,11 @@ let run ?options ?hier ?stats prog machine =
                Stats.int_probe rg "accel_cycles" (fun () ->
                    cached.Config_manager.accel_cycles);
                Stats.int_probe rg "translation_cycles" (fun () ->
-                   cached.Config_manager.translation_cycles)
+                   cached.Config_manager.translation_cycles);
+               Stats.int_probe rg "faults_detected" (fun () ->
+                   cached.Config_manager.faults_detected);
+               Stats.int_probe rg "fault_remaps" (fun () ->
+                   cached.Config_manager.fault_remaps)
              with Invalid_argument _ -> ());
             emit
               (Trace.span ~cat:"mesa" ~ts:(wall_now ()) ~dur:tcycles
@@ -323,6 +558,10 @@ let run ?options ?hier ?stats prog machine =
                 accel_cycles = 0;
                 reconfigurations = 0;
                 offload_count = 0;
+                faults_detected = 0;
+                fault_retries = 0;
+                fault_remaps = 0;
+                quarantines = 0;
               }
               :: !rejected)
         | Some (Loop_detector.Rejected { entry; reason }) ->
@@ -346,6 +585,10 @@ let run ?options ?hier ?stats prog machine =
               accel_cycles = 0;
               reconfigurations = 0;
               offload_count = 0;
+              faults_detected = 0;
+              fault_retries = 0;
+              fault_remaps = 0;
+              quarantines = 0;
             }
             :: !rejected
         | None -> ())
@@ -360,7 +603,7 @@ let run ?options ?hier ?stats prog machine =
           size = Region.size c.Config_manager.region;
           pragma = c.Config_manager.region.Region.pragma;
           accepted = true;
-          reject_reason = None;
+          reject_reason = c.Config_manager.abort_reason;
           tiling = c.Config_manager.config.Accel_config.tiling;
           pipelined = c.Config_manager.config.Accel_config.pipelined;
           translation_cycles = c.Config_manager.translation_cycles;
@@ -368,6 +611,10 @@ let run ?options ?hier ?stats prog machine =
           accel_cycles = c.Config_manager.accel_cycles;
           reconfigurations = c.Config_manager.reconfigurations;
           offload_count = c.Config_manager.offloads;
+          faults_detected = c.Config_manager.faults_detected;
+          fault_retries = c.Config_manager.fault_retries;
+          fault_remaps = c.Config_manager.fault_remaps;
+          quarantines = c.Config_manager.quarantines;
         })
       (Config_manager.entries cache)
   in

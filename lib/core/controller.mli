@@ -30,12 +30,25 @@ type options = {
   max_reopts : int;        (** reconfiguration budget per offload *)
   offload_overhead : int;  (** cycles to transfer architectural state each way *)
   max_steps : int;         (** interpreter safety budget *)
+  engine_max_iterations : int;
+      (** engine safety budget per offload; exceeding it aborts acceleration
+          of the region with a distinct reason and CPU fallback *)
+  watchdog_window : int;   (** iterations a corrupted window may spin before
+                               the forward-progress watchdog cuts it off *)
+  max_fault_retries : int; (** consecutive faulted windows tolerated before
+                               the region is quarantined *)
+  inject : Fault.spec option;
+      (** fault schedule to arm for this run; [None] (the default) keeps
+          every fault path cold and timing bit-identical to a build without
+          the subsystem *)
   tune : Accel_config.t -> Accel_config.t;
       (** hook applied to every freshly translated configuration — the
           ablation studies use it to strip individual optimizations *)
 }
 
-val default_options : ?grid:Grid.t -> ?optimize:bool -> ?iterative:bool -> unit -> options
+val default_options :
+  ?grid:Grid.t -> ?optimize:bool -> ?iterative:bool -> ?inject:Fault.spec ->
+  unit -> options
 (** M-128, mesh+NoC interconnect, optimizations and iterative mode on. *)
 
 (** Per-region outcome, for the evaluation tables. *)
@@ -45,6 +58,8 @@ type region_report = {
   pragma : Program.pragma option;
   accepted : bool;
   reject_reason : string option;
+      (** why the region was rejected — or, for an accepted region, why
+          acceleration was later abandoned (iteration budget, quarantine) *)
   tiling : int;
   pipelined : bool;
   translation_cycles : int;
@@ -52,6 +67,10 @@ type region_report = {
   accel_cycles : int;
   reconfigurations : int;
   offload_count : int;
+  faults_detected : int;
+  fault_retries : int;
+  fault_remaps : int;
+  quarantines : int;
 }
 
 type report = {
@@ -70,7 +89,8 @@ type report = {
       (** end-of-run readout of every counter group: [cpu] (OoO model),
           [cache] (per-level hits/misses), [engine] (fabric activity,
           profiling windows), [controller] (offloads, reconfigurations,
-          translation, cycle accounting) and [regions.r<entry>] per accepted
+          translation, cycle accounting), [faults] (injection and recovery —
+          all-zero when no schedule is armed) and [regions.r<entry>] per accepted
           region *)
   timeline : Trace.span list;
       (** offload / translate / reconfigure / reject events on the

@@ -28,7 +28,16 @@ let copy t ?mem () =
     mem = Option.value mem ~default:t.mem;
   }
 
+let restore t ~from =
+  Array.blit from.xregs 0 t.xregs 0 Reg.count;
+  Array.blit from.fregs 0 t.fregs 0 Reg.count;
+  t.pc <- from.pc
+
 let arch_equal a b =
+  (* FP registers compare by bit pattern: NaN payloads are architectural
+     state too, and [nan = nan] is false under OCaml's [=]. *)
   a.pc = b.pc
   && Array.for_all2 ( = ) a.xregs b.xregs
-  && Array.for_all2 ( = ) a.fregs b.fregs
+  && Array.for_all2
+       (fun x y -> Int32.bits_of_float x = Int32.bits_of_float y)
+       a.fregs b.fregs

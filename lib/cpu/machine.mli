@@ -36,6 +36,11 @@ val copy : t -> ?mem:Main_memory.t -> unit -> t
 (** Copy the register state; memory is shared unless a replacement is
     given. *)
 
+val restore : t -> from:t -> unit
+(** Overwrite [t]'s registers and PC from a checkpoint taken by {!copy}
+    (memory is untouched — restore it separately with
+    {!Main_memory.restore}). Used to roll back a fault-corrupted window. *)
+
 val arch_equal : t -> t -> bool
 (** Equality of registers and PC (not memory); used by equivalence tests. *)
 

@@ -27,10 +27,13 @@ val mesa :
   ?optimize:bool ->
   ?iterative:bool ->
   ?mem_ports:int ->
+  ?inject:Fault.spec ->
   Kernel.t ->
   measurement * Controller.report
 (** Full MESA run (CPU + transparent offload). [mem_ports] overrides the
-    accelerator's cache ports (Figure 15's ideal-memory variant). *)
+    accelerator's cache ports (Figure 15's ideal-memory variant); [inject]
+    arms a fault schedule for the run (the output check still validates
+    bit-exact results after recovery). *)
 
 val dfg_of_kernel : Kernel.t -> Dfg.t
 (** The kernel's hot-loop LDFG, for the analytic baselines (OpenCGRA /

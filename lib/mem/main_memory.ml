@@ -56,6 +56,12 @@ let store_float32 t addr f =
   Bytes.set_int32_le t.data addr (Int32.bits_of_float f)
 
 let copy t = { data = Bytes.copy t.data }
+
+let restore t ~from =
+  if Bytes.length t.data <> Bytes.length from.data then
+    invalid_arg "Main_memory.restore: size mismatch";
+  Bytes.blit from.data 0 t.data 0 (Bytes.length t.data)
+
 let equal a b = Bytes.equal a.data b.data
 
 let blit_words t addr ws =

@@ -46,6 +46,11 @@ val copy : t -> t
 (** Deep copy; used to run the same initial state through the CPU reference
     and the accelerator. *)
 
+val restore : t -> from:t -> unit
+(** Overwrite [t]'s contents with a checkpoint previously taken by {!copy}
+    (sizes must match) — in-place, so existing handles on [t] stay valid.
+    Used to roll back a fault-corrupted execution window. *)
+
 val equal : t -> t -> bool
 (** Byte-wise equality, for functional-equivalence checks. *)
 

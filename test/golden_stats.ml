@@ -38,6 +38,14 @@ let () =
       "engine.iterations";
       "engine.windows";
       "cpu.instructions";
+      (* Fault-free run: the whole recovery ladder must stay cold. *)
+      "faults.injected";
+      "faults.detected";
+      "faults.retried";
+      "faults.remapped";
+      "faults.quarantined";
+      "faults.config_upsets";
+      "controller.iteration_budget_aborts";
     ]
   in
   print_string

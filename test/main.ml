@@ -25,4 +25,5 @@ let () =
          Test_engine_timing.suites;
          Test_rv64.suites;
          Test_cse.suites;
+         Test_fault.suites;
        ])
