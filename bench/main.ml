@@ -6,25 +6,47 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- fig11        -- one experiment
      dune exec bench/main.exe -- micro        -- only the micro-benchmarks
-     dune exec bench/main.exe -- list         -- experiment names *)
+     dune exec bench/main.exe -- list         -- experiment names
 
-let experiments : (string * (unit -> Experiments.outcome)) list =
+   Options (before the experiment names):
+     --jobs N    run each experiment's measurements on N domains
+                 (default 1; the tables are bit-identical for any N)
+     --json PATH dump per-experiment wall-clock timings as JSON
+     --csv DIR   write each outcome as CSV *)
+
+let experiments : (string * (jobs:int option -> Experiments.outcome)) list =
   [
-    ("fig11", fun () -> Experiments.fig11 ());
-    ("fig12", fun () -> Experiments.fig12 ());
-    ("fig13", fun () -> Experiments.fig13 ());
-    ("fig14", fun () -> Experiments.fig14 ());
-    ("fig15", fun () -> Experiments.fig15 ());
-    ("fig16", fun () -> Experiments.fig16 ());
-    ("table1", fun () -> Experiments.table1 ());
-    ("table2", fun () -> Experiments.table2 ());
-    ("ablation", fun () -> Ablation.experiment ());
+    ("fig11", fun ~jobs -> Experiments.fig11 ?jobs ());
+    ("fig12", fun ~jobs -> Experiments.fig12 ?jobs ());
+    ("fig13", fun ~jobs -> Experiments.fig13 ?jobs ());
+    ("fig14", fun ~jobs -> Experiments.fig14 ?jobs ());
+    ("fig15", fun ~jobs -> Experiments.fig15 ?jobs ());
+    ("fig16", fun ~jobs -> Experiments.fig16 ?jobs ());
+    ("table1", fun ~jobs -> Experiments.table1 ?jobs ());
+    ("table2", fun ~jobs -> Experiments.table2 ?jobs ());
+    ("ablation", fun ~jobs -> Ablation.experiment ?jobs ());
   ]
 
 (* Figure-style ASCII charts rendered next to the tables. *)
+(* Parse a "1.33x"-style ratio cell. [None] on anything malformed — a
+   malformed cell must drop its row from the chart, not plot as a 0.0 bar
+   that looks like a real measurement. *)
+let strip s =
+  if String.length s < 2 then None
+  else float_of_string_opt (String.sub s 0 (String.length s - 1))
+
+let strip_row ~name ~key cells =
+  match List.map strip cells |> List.fold_left
+          (fun acc v -> match acc, v with Some l, Some x -> Some (x :: l) | _ -> None)
+          (Some [])
+  with
+  | Some vs -> Some (List.rev vs)
+  | None ->
+    Printf.eprintf "[%s chart: skipping row %S with unparseable cells]\n" name key;
+    None
+
 let chart_of name (o : Experiments.outcome) =
   let rows = Tables.data_rows o.Experiments.table in
-  let strip s = try float_of_string (String.sub s 0 (String.length s - 1)) with _ -> 0.0 in
   match name with
   | "fig11" ->
     let series =
@@ -32,7 +54,7 @@ let chart_of name (o : Experiments.outcome) =
         (fun row ->
           match row with
           | [ k; m128; m512; _; _; _ ] when k <> "geomean" && k <> "paper (avg)" ->
-            Some (k, [ strip m128; strip m512 ])
+            Option.map (fun vs -> (k, vs)) (strip_row ~name ~key:k [ m128; m512 ])
           | _ -> None)
         rows
     in
@@ -44,16 +66,24 @@ let chart_of name (o : Experiments.outcome) =
       List.filter_map
         (fun row ->
           match row with
-          | [ pes; dflt; _; _ ] when pes <> "paper" -> Some (pes ^ " PEs", strip dflt)
+          | [ pes; dflt; _; _ ] when pes <> "paper" ->
+            Option.map
+              (fun vs -> (pes ^ " PEs", List.hd vs))
+              (strip_row ~name ~key:pes [ dflt ])
           | _ -> None)
         rows
     in
     Some (Chart.bars ~title:"Figure 15 (chart): nn scaling, default memory" series)
   | _ -> None
 
-let run_experiment ?csv_dir name f =
+(* (experiment, wall-clock seconds) pairs, accumulated for --json. *)
+let timings : (string * float) list ref = ref []
+
+let run_experiment ?csv_dir ?jobs name f =
   let t0 = Unix.gettimeofday () in
-  let outcome = f () in
+  let outcome = f ~jobs in
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := (name, dt) :: !timings;
   Printf.printf "\n";
   Tables.print outcome.Experiments.table;
   (match chart_of name outcome with
@@ -67,7 +97,29 @@ let run_experiment ?csv_dir name f =
     Export.write_file ~path (Export.outcome_to_csv outcome);
     Printf.printf "[wrote %s]\n" path
   | None -> ());
-  Printf.printf "[%s finished in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+  Printf.printf "[%s finished in %.1fs]\n%!" name dt
+
+let write_timings ~path ~jobs =
+  let ts = List.rev !timings in
+  let total = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 ts in
+  let json =
+    Json.Assoc
+      [
+        ("jobs", Json.Int (match jobs with None -> 1 | Some j -> j));
+        ("total_seconds", Json.Float total);
+        ( "experiments",
+          Json.List
+            (List.map
+               (fun (name, dt) ->
+                 Json.Assoc [ ("name", Json.String name); ("seconds", Json.Float dt) ])
+               ts) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, timing the piece of
@@ -178,19 +230,27 @@ let micro_benchmarks () =
   Tables.print t
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  (* Optional: --csv DIR writes each outcome as CSV next to the console
-     output. *)
-  let csv_dir, args =
-    match args with
+  let rec parse_opts (csv_dir, jobs, json) = function
     | "--csv" :: dir :: rest ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      (Some dir, rest)
-    | _ -> (None, args)
+      parse_opts (Some dir, jobs, json) rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> parse_opts (csv_dir, Some j, json) rest
+      | Some _ | None ->
+        Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+        exit 1)
+    | "--json" :: path :: rest -> parse_opts (csv_dir, jobs, Some path) rest
+    | rest -> ((csv_dir, jobs, json), rest)
   in
+  let (csv_dir, jobs, json), args =
+    parse_opts (None, None, None) (List.tl (Array.to_list Sys.argv))
+  in
+  let finish () = match json with Some path -> write_timings ~path ~jobs | None -> () in
   match args with
   | [] ->
-    List.iter (fun (name, f) -> run_experiment ?csv_dir name f) experiments;
+    List.iter (fun (name, f) -> run_experiment ?csv_dir ?jobs name f) experiments;
+    finish ();
     micro_benchmarks ()
   | [ "micro" ] -> micro_benchmarks ()
   | [ "list" ] ->
@@ -200,9 +260,10 @@ let () =
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
-        | Some f -> run_experiment ?csv_dir name f
+        | Some f -> run_experiment ?csv_dir ?jobs name f
         | None ->
           Printf.eprintf "unknown experiment %s (try: dune exec bench/main.exe -- list)\n"
             name;
           exit 1)
-      names
+      names;
+    finish ()

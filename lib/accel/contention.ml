@@ -1,12 +1,16 @@
 type t = {
-  capacity : int;
+  mutable capacity : int;
   slots : (int, int) Hashtbl.t; (* cycle -> operations started that cycle *)
   mutable claimed : int;
 }
 
+(* Sized for a full engine execution up front so the per-cycle table rarely
+   rehashes; recycled executions reuse the same buckets via [reset]. *)
+let initial_slots = 1024
+
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Contention.create: capacity must be positive";
-  { capacity; slots = Hashtbl.create 1024; claimed = 0 }
+  { capacity; slots = Hashtbl.create initial_slots; claimed = 0 }
 
 let claim t ready =
   let rec find c =
@@ -24,6 +28,11 @@ let claim t ready =
 
 let claimed t = t.claimed
 
-let reset t =
+let reset ?capacity t =
+  (match capacity with
+  | None -> ()
+  | Some c ->
+    if c <= 0 then invalid_arg "Contention.reset: capacity must be positive";
+    t.capacity <- c);
   Hashtbl.reset t.slots;
   t.claimed <- 0

@@ -20,4 +20,8 @@ val claim : t -> float -> float
 val claimed : t -> int
 (** Total operations booked. *)
 
-val reset : t -> unit
+val reset : ?capacity:int -> t -> unit
+(** Forget every booked slot (and optionally change the capacity), restoring
+    the table to its freshly-created state. The engine recycles contention
+    tables across executions through this instead of rebuilding their slot
+    hashtables each time. *)

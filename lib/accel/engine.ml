@@ -20,6 +20,15 @@ let s32 = Machine.to_s32
 
 exception Exec_fail of string
 
+(* Recycled contention tables. An execution claims one table per cache-port
+   group and one per active (instance, NoC slice) pair; building each from
+   scratch costs a fresh slot hashtable, so finished executions park their
+   tables here and the next execution revives them with [Contention.reset].
+   The pool is domain-local: parallel harness jobs never contend on it and
+   every execution stays deterministic. *)
+let contention_scratch : Contention.t Stack.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Stack.create ())
+
 let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window = 512)
     ~(config : Accel_config.t) ~(dfg : Dfg.t)
     ~(machine : Machine.t) ~(hier : Hierarchy.t) () =
@@ -31,6 +40,39 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
     let grid = pl.Placement.grid in
     let nodes = dfg.Dfg.nodes in
     let mem = machine.Machine.mem in
+    let debug = Sys.getenv_opt "MESA_ENGINE_DEBUG" <> None in
+    (* Static per-node tables, hoisted out of the iteration loop: operation
+       class and fabric latency, guard predicates, and the arrival
+       dependencies (operand sources, hidden value, guards, memory-order
+       link — in exactly the order the arrival fold visits them). *)
+    let cls_of = Array.map (fun nd -> Isa.op_class nd.Dfg.instr) nodes in
+    let cls_lat = Array.map (fun cls -> float_of_int (Latency.accel cls)) cls_of in
+    let guards_of = Array.map (fun nd -> Array.of_list nd.Dfg.guards) nodes in
+    let deps_of =
+      Array.map
+        (fun nd ->
+          let ds = ref [] in
+          Array.iter
+            (function Dfg.Node i -> ds := i :: !ds | Dfg.Reg_in _ -> ())
+            nd.Dfg.srcs;
+          (match nd.Dfg.hidden with
+          | Some (Dfg.Node i) -> ds := i :: !ds
+          | Some (Dfg.Reg_in _) | None -> ());
+          List.iter (fun (b, _) -> ds := b :: !ds) nd.Dfg.guards;
+          if Isa.is_store nd.Dfg.instr then
+            Option.iter (fun s -> ds := s :: !ds) nd.Dfg.prev_store;
+          Array.of_list (List.rev !ds))
+        nodes
+    in
+    let live_out_x = Array.of_list dfg.Dfg.live_out_x in
+    let live_out_f = Array.of_list dfg.Dfg.live_out_f in
+    (* Loop-carried producers bound the pipelined initiation interval. *)
+    let carried_nodes =
+      Dfg.loop_carried dfg
+      |> List.filter_map (fun (_, _, src) ->
+             match src with Dfg.Node p -> Some p | Dfg.Reg_in _ -> None)
+      |> Array.of_list
+    in
     (* Optimization lookup tables. *)
     let forwarded = Array.make n false in
     List.iter (fun (load, _) -> forwarded.(load) <- true) config.forwarding;
@@ -68,19 +110,35 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
     in
     (* Timing state. *)
     let completes = Array.make n 0.0 in
-    let ports = Contention.create ~capacity:effective_ports in
+    let scratch = Domain.DLS.get contention_scratch in
+    let acquired = ref [] in
+    let acquire ~capacity =
+      let c =
+        match Stack.pop_opt scratch with
+        | Some c ->
+          Contention.reset ~capacity c;
+          c
+        | None -> Contention.create ~capacity
+      in
+      acquired := c :: !acquired;
+      c
+    in
+    let ports = acquire ~capacity:effective_ports in
+    let tiling = max 1 config.tiling in
     (* Tiled instances occupy disjoint physical regions, so each gets its
-       own router slices; keys are (instance, slice). *)
-    let noc : (int * int, Contention.t) Hashtbl.t = Hashtbl.create 16 in
-    let noc_slot slice =
-      match Hashtbl.find_opt noc slice with
+       own router slices; slot [inst * nslices + slice] serves (instance,
+       slice). Slices are claimed lazily — most stay unused. *)
+    let nslices = ((grid.Grid.rows * grid.Grid.cols) - 1) / grid.Grid.slice_width + 1 in
+    let noc : Contention.t option array = Array.make (tiling * nslices) None in
+    let noc_slot inst slice =
+      let idx = (inst * nslices) + slice in
+      match noc.(idx) with
       | Some c -> c
       | None ->
-        let c = Contention.create ~capacity:1 in
-        Hashtbl.add noc slice c;
+        let c = acquire ~capacity:1 in
+        noc.(idx) <- Some c;
         c
     in
-    let tiling = max 1 config.tiling in
     let inst_next = Array.make tiling 0.0 in
     (* Measurements: one fresh registry per profiling window, snapshotted
        into the result. The hardware counters the optimizer reads (§5.2)
@@ -141,7 +199,7 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
       | Interconnect.Noc ->
         let slice = Interconnect.noc_slice grid (Placement.coord_of pl i) in
         let abs_out = iter_start +. completes.(i) in
-        let inject = Contention.claim (noc_slot (inst, slice)) abs_out in
+        let inject = Contention.claim (noc_slot inst slice) abs_out in
         act.Activity.noc_transfers <- act.Activity.noc_transfers + 1;
         Stats.observe noc_queue (inject -. abs_out);
         let lat = base +. (inject -. abs_out) in
@@ -154,14 +212,13 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
       Stats.observe port_queue delay;
       delay
     in
-    let accel_lat cls = float_of_int (Latency.accel cls) in
     (* Corrupt node [j]'s output latch: stuck-at [value] for permanent
        damage, xor-flip for a transient strike. Branch latches stick at /
        flip toward "taken" so a damaged back branch spins (the watchdog
        scenario). Returns whether the latched value actually changed. *)
     let corrupt_latch j ~value ~stuck =
       let nd = nodes.(j) in
-      if Isa.op_class nd.Dfg.instr = Isa.C_branch then begin
+      if cls_of.(j) = Isa.C_branch then begin
         let old = vx.(j) in
         vx.(j) <- (if stuck then 1 else if old <> 0 then 0 else 1);
         vx.(j) <> old
@@ -203,22 +260,20 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
         let mem_accesses = ref 0 in
         for j = 0 to n - 1 do
           let nd = nodes.(j) in
-          let cls = Isa.op_class nd.Dfg.instr in
+          let cls = cls_of.(j) in
           (* Guard evaluation: a branch node's value is 1 when taken. *)
           let disabled =
-            List.exists (fun (b, dis) -> (vx.(b) <> 0) = dis) nd.Dfg.guards
+            Array.exists (fun (b, dis) -> (vx.(b) <> 0) = dis) guards_of.(j)
           in
           (* Arrival of inputs (Equation 2, with contention). *)
           let arrival = ref 0.0 in
           let dep i =
             arrival := Float.max !arrival (completes.(i) +. transfer_in inst iter_start i j)
           in
-          Array.iter (function Dfg.Node i -> dep i | Dfg.Reg_in _ -> ()) nd.Dfg.srcs;
-          (match nd.Dfg.hidden with
-          | Some (Dfg.Node i) -> dep i
-          | Some (Dfg.Reg_in _) | None -> ());
-          List.iter (fun (b, _) -> dep b) nd.Dfg.guards;
-          if Isa.is_store nd.Dfg.instr then Option.iter dep nd.Dfg.prev_store;
+          let deps = deps_of.(j) in
+          for d = 0 to Array.length deps - 1 do
+            dep deps.(d)
+          done;
           (* Functional execution + operation latency. *)
           let oplat = ref 1.0 in
           if disabled then begin
@@ -231,7 +286,7 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
             | Some _, Some h -> vf.(j) <- val_f h
             | Some _, None -> vf.(j) <- 0.0
             | None, _ -> ());
-            if Isa.op_class nd.Dfg.instr = Isa.C_branch then vx.(j) <- 0
+            if cls = Isa.C_branch then vx.(j) <- 0
           end
           else begin
             let mem_access ~load ~addr =
@@ -269,19 +324,19 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
             | Isa.Rtype (op, _, _, _) ->
               act.Activity.int_ops <- act.Activity.int_ops + 1;
               vx.(j) <- Interp.Alu.rtype op (val_i nd.Dfg.srcs.(0)) (val_i nd.Dfg.srcs.(1));
-              oplat := accel_lat cls
+              oplat := cls_lat.(j)
             | Isa.Itype (op, _, _, imm) ->
               act.Activity.int_ops <- act.Activity.int_ops + 1;
               vx.(j) <- Interp.Alu.itype op (val_i nd.Dfg.srcs.(0)) imm;
-              oplat := accel_lat cls
+              oplat := cls_lat.(j)
             | Isa.Lui (_, imm) ->
               act.Activity.int_ops <- act.Activity.int_ops + 1;
               vx.(j) <- s32 imm;
-              oplat := accel_lat Isa.C_alu
+              oplat := cls_lat.(j)
             | Isa.Auipc (_, imm) ->
               act.Activity.int_ops <- act.Activity.int_ops + 1;
               vx.(j) <- s32 (nd.Dfg.addr + imm);
-              oplat := accel_lat Isa.C_alu
+              oplat := cls_lat.(j)
             | Isa.Load (op, _, _, off) ->
               let addr = u32 (val_i nd.Dfg.srcs.(0) + off) in
               vx.(j) <-
@@ -316,33 +371,33 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
                 Interp.Alu.branch_taken op (val_i nd.Dfg.srcs.(0)) (val_i nd.Dfg.srcs.(1))
               in
               vx.(j) <- (if taken then 1 else 0);
-              oplat := accel_lat Isa.C_branch
+              oplat := cls_lat.(j)
             | Isa.Ftype (op, _, _, _) ->
               act.Activity.fp_ops <- act.Activity.fp_ops + 1;
               let a = val_f nd.Dfg.srcs.(0) in
               let b = if Array.length nd.Dfg.srcs > 1 then val_f nd.Dfg.srcs.(1) else 0.0 in
               vf.(j) <- Interp.Alu.ftype op a b;
-              oplat := accel_lat cls
+              oplat := cls_lat.(j)
             | Isa.Fcmp (op, _, _, _) ->
               act.Activity.fp_ops <- act.Activity.fp_ops + 1;
               vx.(j) <- Interp.Alu.fcmp op (val_f nd.Dfg.srcs.(0)) (val_f nd.Dfg.srcs.(1));
-              oplat := accel_lat cls
+              oplat := cls_lat.(j)
             | Isa.Fcvt_w_s (_, _) ->
               act.Activity.fp_ops <- act.Activity.fp_ops + 1;
               vx.(j) <- Interp.Alu.fcvt_w_s (val_f nd.Dfg.srcs.(0));
-              oplat := accel_lat cls
+              oplat := cls_lat.(j)
             | Isa.Fcvt_s_w (_, _) ->
               act.Activity.fp_ops <- act.Activity.fp_ops + 1;
               vf.(j) <- Interp.Alu.fcvt_s_w (val_i nd.Dfg.srcs.(0));
-              oplat := accel_lat cls
+              oplat := cls_lat.(j)
             | Isa.Fmv_x_w (_, _) ->
               act.Activity.int_ops <- act.Activity.int_ops + 1;
               vx.(j) <- Interp.Alu.fmv_x_w (val_f nd.Dfg.srcs.(0));
-              oplat := accel_lat cls
+              oplat := cls_lat.(j)
             | Isa.Fmv_w_x (_, _) ->
               act.Activity.int_ops <- act.Activity.int_ops + 1;
               vf.(j) <- Interp.Alu.fmv_w_x (val_i nd.Dfg.srcs.(0));
-              oplat := accel_lat cls
+              oplat := cls_lat.(j)
             | Isa.Jal _ | Isa.Jalr _ | Isa.Ecall | Isa.Ebreak | Isa.Fence ->
               raise
                 (Exec_fail
@@ -378,7 +433,7 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
           | _ -> ())
         done;
         let iter_latency = Array.fold_left Float.max 0.0 completes in
-        if Sys.getenv_opt "MESA_ENGINE_DEBUG" <> None && !iterations < 40 then
+        if debug && !iterations < 40 then
           Printf.eprintf "iter=%d inst=%d start=%.1f lat=%.1f fu=%.1f\n" !iterations
             inst iter_start iter_latency !fu_bound;
         incr iterations;
@@ -386,15 +441,14 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
         end_time := Float.max !end_time (iter_start +. iter_latency);
         let continue_loop = vx.(dfg.Dfg.back_branch) <> 0 in
         (* Next iteration's live-ins are this iteration's live-outs. *)
-        List.iter (fun (r, src) -> if r <> 0 then in_x.(r) <- val_i src) dfg.Dfg.live_out_x;
-        List.iter (fun (r, src) -> in_f.(r) <- val_f src) dfg.Dfg.live_out_f;
+        Array.iter (fun (r, src) -> if r <> 0 then in_x.(r) <- val_i src) live_out_x;
+        Array.iter (fun (r, src) -> in_f.(r) <- val_f src) live_out_f;
         (* Initiation of this instance's next iteration. *)
         (if config.pipelined then begin
            let ii_rec =
-             List.fold_left
-               (fun acc (_, _, src) ->
-                 match src with Dfg.Node p -> Float.max acc completes.(p) | Dfg.Reg_in _ -> acc)
-               1.0 (Dfg.loop_carried dfg)
+             Array.fold_left
+               (fun acc p -> Float.max acc completes.(p))
+               1.0 carried_nodes
            in
            let ii_mem =
              float_of_int (Stats.div_ceil !mem_accesses effective_ports)
@@ -432,8 +486,8 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
       done;
       (* Architectural writeback: loop live-outs, and either the exit PC or
          (when pausing mid-loop) the entry PC so execution can resume. *)
-      List.iter (fun (r, src) -> Machine.set_x machine r (val_i src)) dfg.Dfg.live_out_x;
-      List.iter (fun (r, src) -> Machine.set_f machine r (val_f src)) dfg.Dfg.live_out_f;
+      Array.iter (fun (r, src) -> Machine.set_x machine r (val_i src)) live_out_x;
+      Array.iter (fun (r, src) -> Machine.set_f machine r (val_f src)) live_out_f;
       machine.Machine.pc <- (if !paused then dfg.Dfg.entry_addr else dfg.Dfg.exit_addr);
       act.Activity.cycles <- int_of_float (Float.ceil !end_time);
       let detection =
@@ -459,4 +513,6 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
         measured = Stats.snapshot reg;
       }
     in
-    try Ok (run ()) with Exec_fail msg -> Error msg)
+    Fun.protect
+      ~finally:(fun () -> List.iter (fun c -> Stack.push c scratch) !acquired)
+      (fun () -> try Ok (run ()) with Exec_fail msg -> Error msg))

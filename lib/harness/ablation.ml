@@ -58,7 +58,7 @@ let run_variant ?(grid = Grid.m128) variant (k : Kernel.t) =
 let default_kernels () =
   List.map Workloads.find [ "gaussian"; "kmeans"; "btree"; "bfs" ]
 
-let experiment ?(grid = Grid.m128) ?kernels () =
+let experiment ?jobs ?(grid = Grid.m128) ?kernels () =
   let kernels = match kernels with Some ks -> ks | None -> default_kernels () in
   let t =
     Tables.create
@@ -69,22 +69,32 @@ let experiment ?(grid = Grid.m128) ?kernels () =
       :: List.map (fun v -> (variant_name v, Tables.Right)) all_variants)
   in
   let per_variant = Hashtbl.create 8 in
+  let measured =
+    Pool.with_pool ?jobs (fun pool ->
+        kernels
+        |> List.map (fun (k : Kernel.t) ->
+               ( k,
+                 Pool.submit pool (fun () -> Runner.multicore k),
+                 List.map
+                   (fun v -> (v, Pool.submit pool (fun () -> run_variant ~grid v k)))
+                   all_variants ))
+        |> List.map (fun (k, b, vs) ->
+               (k, Pool.await b, List.map (fun (v, f) -> (v, Pool.await f)) vs)))
+  in
   List.iter
-    (fun (k : Kernel.t) ->
-      let base = Runner.multicore k in
+    (fun ((k : Kernel.t), base, variants) ->
       let cells =
         List.map
-          (fun v ->
-            let m = run_variant ~grid v k in
+          (fun (v, m) ->
             let ok = m.Runner.checked = Ok () && base.Runner.checked = Ok () in
             let s = Runner.speedup ~baseline:base m in
             let prev = Option.value (Hashtbl.find_opt per_variant v) ~default:[] in
             Hashtbl.replace per_variant v (s :: prev);
             if ok then Tables.xcell s else "FAIL")
-          all_variants
+          variants
       in
       Tables.add_row t (k.Kernel.name :: cells))
-    kernels;
+    measured;
   Tables.add_rule t;
   let geomeans =
     List.map

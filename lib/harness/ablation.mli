@@ -19,8 +19,9 @@ val all_variants : variant list
 val run_variant : ?grid:Grid.t -> variant -> Kernel.t -> Runner.measurement
 (** One kernel under one variant (functional outputs are still verified). *)
 
-val experiment : ?grid:Grid.t -> ?kernels:Kernel.t list -> unit -> Experiments.outcome
+val experiment : ?jobs:int -> ?grid:Grid.t -> ?kernels:Kernel.t list -> unit -> Experiments.outcome
 (** The full ablation table: per kernel, each variant's speedup over the
-    16-core baseline; a geomean row summarizes how much each mechanism is
+    16-core baseline. [jobs] fans the per-(kernel, variant) runs out on a
+    domain {!Pool} (the outcome is bit-identical for every value); a geomean row summarizes how much each mechanism is
     worth. Defaults to four representative kernels (one FP-streaming, one
     predicated, one vectorizable, one memory-bound). *)

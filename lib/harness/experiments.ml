@@ -7,7 +7,7 @@ type outcome = {
 (* ------------------------------------------------------------------ *)
 (* Figure 11: speedup & energy efficiency vs the 16-core CPU.          *)
 
-let fig11 ?kernels () =
+let fig11 ?jobs ?kernels () =
   let kernels = match kernels with Some ks -> ks | None -> Workloads.all () in
   let t =
     Tables.create ~title:"Figure 11: performance and energy efficiency vs 16-core OoO CPU"
@@ -21,11 +21,19 @@ let fig11 ?kernels () =
       ]
   in
   let acc = ref [] in
+  let measured =
+    Pool.with_pool ?jobs (fun pool ->
+        kernels
+        |> List.map (fun k ->
+               ( k,
+                 Pool.submit pool (fun () -> Runner.multicore k),
+                 Pool.submit pool (fun () -> fst (Runner.mesa ~grid:Grid.m128 k)),
+                 Pool.submit pool (fun () -> fst (Runner.mesa ~grid:Grid.m512 k)) ))
+        |> List.map (fun (k, b, m1, m5) ->
+               (k, Pool.await b, Pool.await m1, Pool.await m5)))
+  in
   List.iter
-    (fun k ->
-      let base = Runner.multicore k in
-      let m128, _ = Runner.mesa ~grid:Grid.m128 k in
-      let m512, _ = Runner.mesa ~grid:Grid.m512 k in
+    (fun ((k : Kernel.t), base, m128, m512) ->
       let s128 = Runner.speedup ~baseline:base m128
       and s512 = Runner.speedup ~baseline:base m512
       and e128 = Runner.efficiency ~baseline:base m128
@@ -43,7 +51,7 @@ let fig11 ?kernels () =
           Tables.xcell e512;
           (if all_ok then "ok" else "FAIL");
         ])
-    kernels;
+    measured;
   let col f = List.map f !acc in
   let g1 = Stats.geomean (col (fun (a, _, _, _) -> a)) in
   let g2 = Stats.geomean (col (fun (_, a, _, _) -> a)) in
@@ -69,8 +77,7 @@ let fig11 ?kernels () =
 
 let engine_ipc (k : Kernel.t) ~grid ~optimized =
   let dfg = Runner.dfg_of_kernel k in
-  let model = Perf_model.create dfg in
-  match Mapper.map ~grid ~kind:Interconnect.Mesh_noc model with
+  match Runner.placement_of ~grid k with
   | Error e -> Error e
   | Ok placement ->
     let config =
@@ -96,7 +103,7 @@ let engine_ipc (k : Kernel.t) ~grid ~optimized =
       in
       Ok ipc)
 
-let fig12 ?kernels () =
+let fig12 ?jobs ?kernels () =
   let kernels =
     match kernels with Some ks -> ks | None -> Workloads.opencgra_compatible ()
   in
@@ -110,23 +117,33 @@ let fig12 ?kernels () =
       ]
   in
   let ratios_noopt = ref [] and ratios_opt = ref [] in
+  let measured =
+    Pool.with_pool ?jobs (fun pool ->
+        kernels
+        |> List.map (fun k ->
+               ( k,
+                 Pool.submit pool (fun () ->
+                     let dfg = Runner.dfg_of_kernel k in
+                     match Opencgra.schedule dfg ~grid:Grid.m128 with
+                     | Ok s -> Opencgra.ipc dfg s
+                     | Error _ -> 0.0),
+                 Pool.submit pool (fun () ->
+                     Result.value (engine_ipc k ~grid:Grid.m128 ~optimized:false)
+                       ~default:0.0),
+                 Pool.submit pool (fun () ->
+                     Result.value (engine_ipc k ~grid:Grid.m128 ~optimized:true)
+                       ~default:0.0) ))
+        |> List.map (fun (k, c, n, o) -> (k, Pool.await c, Pool.await n, Pool.await o)))
+  in
   List.iter
-    (fun k ->
-      let dfg = Runner.dfg_of_kernel k in
-      let cgra_ipc =
-        match Opencgra.schedule dfg ~grid:Grid.m128 with
-        | Ok s -> Opencgra.ipc dfg s
-        | Error _ -> 0.0
-      in
-      let noopt = Result.value (engine_ipc k ~grid:Grid.m128 ~optimized:false) ~default:0.0 in
-      let opt = Result.value (engine_ipc k ~grid:Grid.m128 ~optimized:true) ~default:0.0 in
+    (fun ((k : Kernel.t), cgra_ipc, noopt, opt) ->
       if cgra_ipc > 0.0 then begin
         ratios_noopt := (noopt /. cgra_ipc) :: !ratios_noopt;
         ratios_opt := (opt /. cgra_ipc) :: !ratios_opt
       end;
       Tables.add_row t
         [ k.Kernel.name; Tables.fcell cgra_ipc; Tables.fcell noopt; Tables.fcell opt ])
-    kernels;
+    measured;
   let r_noopt = Stats.geomean !ratios_noopt and r_opt = Stats.geomean !ratios_opt in
   Tables.add_rule t;
   Tables.add_row t
@@ -140,7 +157,7 @@ let fig12 ?kernels () =
 (* ------------------------------------------------------------------ *)
 (* Figure 13: area / power / energy breakdown by component.            *)
 
-let fig13 ?kernels () =
+let fig13 ?jobs ?kernels () =
   let kernels =
     match kernels with
     | Some ks -> ks
@@ -149,9 +166,9 @@ let fig13 ?kernels () =
   let grid = Grid.m128 in
   (* Energy shares measured across the four benchmarks. *)
   let sum = ref { Energy_model.compute_nj = 0.; memory_nj = 0.; interconnect_nj = 0.; control_nj = 0.; total_nj = 0. } in
+  let reports = Pool.run ?jobs (fun k -> snd (Runner.mesa ~grid k)) kernels in
   List.iter
-    (fun k ->
-      let _, report = Runner.mesa ~grid k in
+    (fun report ->
       let b = Energy_model.accel_energy ~grid report.Controller.activity in
       let mesa_nj =
         Energy_model.mesa_energy_nj ~busy_cycles:report.Controller.mesa_busy_cycles
@@ -164,7 +181,7 @@ let fig13 ?kernels () =
           control_nj = !sum.Energy_model.control_nj +. b.Energy_model.control_nj +. mesa_nj;
           total_nj = !sum.Energy_model.total_nj +. b.Energy_model.total_nj +. mesa_nj;
         })
-    kernels;
+    reports;
   let b = !sum in
   let pct part = 100.0 *. part /. b.Energy_model.total_nj in
   (* Area and power shares from the synthesis model, folded to the same
@@ -214,7 +231,7 @@ let fig13 ?kernels () =
 (* ------------------------------------------------------------------ *)
 (* Figure 14: M-64 vs single core and DynaSpAM.                        *)
 
-let fig14 ?kernels () =
+let fig14 ?jobs ?kernels () =
   let kernels = match kernels with Some ks -> ks | None -> Workloads.dynaspam_shared () in
   let t =
     Tables.create ~title:"Figure 14: speedup vs a single OoO core (M-64 with optimizations)"
@@ -226,12 +243,25 @@ let fig14 ?kernels () =
       ]
   in
   let ds = ref [] and m64 = ref [] and m64i = ref [] in
+  let measured =
+    Pool.with_pool ?jobs (fun pool ->
+        kernels
+        |> List.map (fun k ->
+               ( k,
+                 Pool.submit pool (fun () -> Runner.single_core k),
+                 Pool.submit pool (fun () ->
+                     Runner.dynaspam
+                       ~config:{ Dynaspam.default_config with Dynaspam.window = 24 }
+                       k),
+                 Pool.submit pool (fun () ->
+                     fst (Runner.mesa ~grid:Grid.m64 ~iterative:false k)),
+                 Pool.submit pool (fun () ->
+                     fst (Runner.mesa ~grid:Grid.m64 ~iterative:true k)) ))
+        |> List.map (fun (k, b, d, x, y) ->
+               (k, Pool.await b, Pool.await d, Pool.await x, Pool.await y)))
+  in
   List.iter
-    (fun k ->
-      let base = Runner.single_core k in
-      let dyn = Runner.dynaspam ~config:{ Dynaspam.default_config with Dynaspam.window = 24 } k in
-      let a, _ = Runner.mesa ~grid:Grid.m64 ~iterative:false k in
-      let b, _ = Runner.mesa ~grid:Grid.m64 ~iterative:true k in
+    (fun ((k : Kernel.t), base, dyn, a, b) ->
       let sd = Runner.speedup ~baseline:base dyn in
       let sa = Runner.speedup ~baseline:base a in
       let sb = Runner.speedup ~baseline:base b in
@@ -240,7 +270,7 @@ let fig14 ?kernels () =
       m64i := sb :: !m64i;
       Tables.add_row t
         [ k.Kernel.name; Tables.xcell sd; Tables.xcell sa; Tables.xcell sb ])
-    kernels;
+    measured;
   let g1 = Stats.geomean !ds and g2 = Stats.geomean !m64 and g3 = Stats.geomean !m64i in
   Tables.add_rule t;
   Tables.add_row t [ "geomean"; Tables.xcell g1; Tables.xcell g2; Tables.xcell g3 ];
@@ -254,15 +284,26 @@ let fig14 ?kernels () =
 (* ------------------------------------------------------------------ *)
 (* Figure 15: PE scaling for nn.                                       *)
 
-let fig15 ?(n = 2048) () =
+let fig15 ?jobs ?(n = 2048) () =
   let pe_counts = [ 16; 32; 64; 128; 256; 512 ] in
   let k = Workloads.nn ~n () in
-  let run ?mem_ports pes =
-    let m, _ = Runner.mesa ~grid:(Grid.of_pe_count pes) ?mem_ports k in
-    m
+  let measure ?mem_ports pes = fst (Runner.mesa ~grid:(Grid.of_pe_count pes) ?mem_ports k) in
+  let base_default, base_ideal, points =
+    Pool.with_pool ?jobs (fun pool ->
+        let bd = Pool.submit pool (fun () -> measure 16) in
+        let bi = Pool.submit pool (fun () -> measure ~mem_ports:1024 16) in
+        let pts =
+          List.map
+            (fun pes ->
+              ( pes,
+                Pool.submit pool (fun () -> measure pes),
+                Pool.submit pool (fun () -> measure ~mem_ports:1024 pes) ))
+            pe_counts
+        in
+        ( Pool.await bd,
+          Pool.await bi,
+          List.map (fun (pes, d, i) -> (pes, Pool.await d, Pool.await i)) pts ))
   in
-  let base_default = run 16 in
-  let base_ideal = run ~mem_ports:1024 16 in
   let t =
     Tables.create ~title:"Figure 15: MESA performance scaling with PE count (nn kernel)"
       [
@@ -274,9 +315,9 @@ let fig15 ?(n = 2048) () =
   in
   let last_default = ref 1.0 in
   List.iter
-    (fun pes ->
-      let d = Runner.speedup ~baseline:base_default (run pes) in
-      let i = Runner.speedup ~baseline:base_ideal (run ~mem_ports:1024 pes) in
+    (fun (pes, md, mi) ->
+      let d = Runner.speedup ~baseline:base_default md in
+      let i = Runner.speedup ~baseline:base_ideal mi in
       last_default := d;
       Tables.add_row t
         [
@@ -285,7 +326,7 @@ let fig15 ?(n = 2048) () =
           Tables.xcell i;
           Tables.xcell (float_of_int pes /. 16.0);
         ])
-    pe_counts;
+    points;
   Tables.add_rule t;
   Tables.add_row t [ "paper"; "flattens past 128 PEs"; "keeps scaling"; "linear" ];
   { table = t; summary = [ ("default_512pe_speedup", !last_default) ] }
@@ -293,7 +334,8 @@ let fig15 ?(n = 2048) () =
 (* ------------------------------------------------------------------ *)
 (* Figure 16: per-iteration energy amortization for nn.                *)
 
-let fig16 ?(n = 2048) () =
+let fig16 ?jobs ?(n = 2048) () =
+  ignore (jobs : int option);  (* a single measurement; nothing to fan out *)
   let k = Workloads.nn ~n () in
   let _, report = Runner.mesa ~grid:Grid.m128 k in
   let grid = Grid.m128 in
@@ -330,7 +372,8 @@ let fig16 ?(n = 2048) () =
 (* ------------------------------------------------------------------ *)
 (* Table 1: hardware area and power breakdown.                         *)
 
-let table1 () =
+let table1 ?jobs () =
+  ignore (jobs : int option);  (* analytic, no simulation to fan out *)
   let entries = Area_model.full_table ~capacity:512 ~grid:Grid.m128 in
   let t =
     Tables.create ~title:"Table 1: area and power by component (128 PEs, capacity 512)"
@@ -370,7 +413,7 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 (* Table 2: configuration latency comparison.                          *)
 
-let table2 () =
+let table2 ?jobs () =
   let t =
     Tables.create ~title:"Table 2: configuration latency and approach comparison"
       [
@@ -386,12 +429,11 @@ let table2 () =
   Tables.add_row t [ "DORA"; "JIT (ms)"; "2D Spatial"; "Vect., Unroll, Deepen" ];
   (* Measured MESA translation latency across the suite. *)
   let cycles =
-    List.filter_map
+    Pool.run ?jobs
       (fun k ->
         match Runner.dfg_of_kernel k with
         | dfg -> (
-          let model = Perf_model.create dfg in
-          match Mapper.map ~grid:Grid.m128 ~kind:Interconnect.Mesh_noc model with
+          match Runner.placement_of ~grid:Grid.m128 k with
           | Ok placement ->
             let config = Accel_config.plain placement in
             Some
@@ -400,6 +442,7 @@ let table2 () =
           | Error _ -> None)
         | exception _ -> None)
       (Workloads.all ())
+    |> List.filter_map Fun.id
   in
   let lo = List.fold_left Float.min infinity cycles in
   let hi = List.fold_left Float.max 0.0 cycles in
@@ -415,14 +458,14 @@ let table2 () =
     [ "paper"; "JIT (ns-us, 10^3-10^4 cycles)"; "2D Spatial"; "Dynamic, Tile, Pipeline" ];
   { table = t; summary = [ ("config_cycles_min", lo); ("config_cycles_max", hi) ] }
 
-let all () =
+let all ?jobs () =
   [
-    ("fig11", fig11 ());
-    ("fig12", fig12 ());
-    ("fig13", fig13 ());
-    ("fig14", fig14 ());
-    ("fig15", fig15 ());
-    ("fig16", fig16 ());
-    ("table1", table1 ());
-    ("table2", table2 ());
+    ("fig11", fig11 ?jobs ());
+    ("fig12", fig12 ?jobs ());
+    ("fig13", fig13 ?jobs ());
+    ("fig14", fig14 ?jobs ());
+    ("fig15", fig15 ?jobs ());
+    ("fig16", fig16 ?jobs ());
+    ("table1", table1 ?jobs ());
+    ("table2", table2 ?jobs ());
   ]

@@ -25,4 +25,10 @@ val run :
   result
 (** Execute the kernel (memory must already contain its inputs). Slices are
     simulated sequentially, which is functionally equivalent for the
-    independent iterations the annotation guarantees. *)
+    independent iterations the annotation guarantees.
+
+    When [n < cores], the surplus slices are empty and spawn no thread:
+    [threads] counts only populated slices, [summaries] has one entry per
+    populated slice, and the shared-L2 contention penalty scales with the
+    populated count — so the cycle count equals a run with exactly that
+    many cores. *)

@@ -75,7 +75,60 @@ let mesa ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true) ?mem_ports
     },
     report )
 
-let dfg_of_kernel (k : Kernel.t) =
+(* ------------------------------------------------------------------ *)
+(* Translation memo. Building a kernel's hot-loop LDFG and running
+   Algorithm 1 over it are pure functions of (kernel, grid, interconnect),
+   yet every figure re-derives them — fig12 and table2 each re-translate
+   the whole suite, fig15 re-maps nn at every PE count. The results
+   (Dfg.t, Placement.t) are immutable, so one copy can be shared across
+   figures and across pool workers; the mutex makes concurrent misses
+   safe (and deduplicates the work: a miss computes inside the lock). *)
+
+let memo_lock = Mutex.create ()
+
+let dfg_memo : (string * int, Dfg.t) Hashtbl.t = Hashtbl.create 32
+
+(* Grid.t and Interconnect.kind are immutable scalar records, so structural
+   hashing of the whole key is sound. *)
+type placement_key = {
+  pk_kernel : string;
+  pk_n : int;
+  pk_grid : Grid.t;
+  pk_kind : Interconnect.kind;
+}
+
+let placement_memo : (placement_key, (Placement.t, string) result) Hashtbl.t =
+  Hashtbl.create 32
+
+let memo_hits = Atomic.make 0
+let memo_misses = Atomic.make 0
+
+let translation_cache_stats () = (Atomic.get memo_hits, Atomic.get memo_misses)
+
+let clear_translation_cache () =
+  Mutex.lock memo_lock;
+  Hashtbl.reset dfg_memo;
+  Hashtbl.reset placement_memo;
+  Atomic.set memo_hits 0;
+  Atomic.set memo_misses 0;
+  Mutex.unlock memo_lock
+
+let memoized table key compute =
+  Mutex.lock memo_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_lock)
+    (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some v ->
+        Atomic.incr memo_hits;
+        v
+      | None ->
+        Atomic.incr memo_misses;
+        let v = compute () in
+        Hashtbl.add table key v;
+        v)
+
+let dfg_of_kernel_uncached (k : Kernel.t) =
   let prog = k.Kernel.program in
   let code = Program.code prog in
   let backward =
@@ -102,6 +155,15 @@ let dfg_of_kernel (k : Kernel.t) =
     }
   in
   Ldfg.build_exn region
+
+let dfg_of_kernel (k : Kernel.t) =
+  memoized dfg_memo (k.Kernel.name, k.Kernel.n) (fun () -> dfg_of_kernel_uncached k)
+
+let placement_of ?(kind = Interconnect.Mesh_noc) ~grid (k : Kernel.t) =
+  let dfg = dfg_of_kernel k in
+  let key = { pk_kernel = k.Kernel.name; pk_n = k.Kernel.n; pk_grid = grid; pk_kind = kind } in
+  memoized placement_memo key (fun () ->
+      Mapper.map ~grid ~kind (Perf_model.create dfg))
 
 let dynaspam ?(config = Dynaspam.default_config) (k : Kernel.t) =
   let base = single_core k in

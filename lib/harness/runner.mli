@@ -38,7 +38,32 @@ val mesa :
 val dfg_of_kernel : Kernel.t -> Dfg.t
 (** The kernel's hot-loop LDFG, for the analytic baselines (OpenCGRA /
     DynaSpAM) and inspection. Raises [Failure] on kernels whose loop cannot
-    be translated. *)
+    be translated.
+
+    Memoized on (kernel name, iteration count): translation is pure, the
+    returned graph is immutable and shared, and the memo table is
+    mutex-protected so pool workers can race on it safely. Failures are not
+    cached. *)
+
+val placement_of :
+  ?kind:Interconnect.kind ->
+  grid:Grid.t ->
+  Kernel.t ->
+  (Placement.t, string) result
+(** The kernel's Algorithm-1 placement on [grid] (default backend
+    [Mesh_noc]), computed from a fresh performance model — the
+    translation the engine-level experiments (fig12, table2) repeat per
+    figure. Memoized like {!dfg_of_kernel}, keyed additionally by the grid
+    geometry and interconnect kind; mapping errors are cached too (they are
+    equally deterministic). *)
+
+val translation_cache_stats : unit -> int * int
+(** [(hits, misses)] over both memo tables since start (or the last
+    {!clear_translation_cache}). *)
+
+val clear_translation_cache : unit -> unit
+(** Drop every memoized LDFG and placement (tests use this to measure cold
+    paths). *)
 
 val dynaspam : ?config:Dynaspam.config -> Kernel.t -> measurement
 (** DynaSpAM analytic model over the same dynamic iteration count; the

@@ -1,0 +1,119 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_lock : Mutex.t;
+  f_done : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  wake : Condition.t;              (* queue non-empty or shutting down *)
+  queue : (unit -> unit) Queue.t;  (* erased tasks; each settles its future *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.wake t.lock
+    done;
+    (* Even when closing, drain what was already submitted so every
+       outstanding future settles. *)
+    match Queue.take_opt t.queue with
+    | Some task ->
+      Mutex.unlock t.lock;
+      task ();
+      next ()
+    | None ->
+      Mutex.unlock t.lock
+  in
+  next ()
+
+let create ?jobs () =
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let settle fut outcome =
+  locked fut.f_lock (fun () ->
+      fut.state <- outcome;
+      Condition.broadcast fut.f_done)
+
+let run_task fut f =
+  let outcome =
+    match f () with
+    | v -> Done v
+    | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+  in
+  settle fut outcome
+
+let submit t f =
+  let fut = { f_lock = Mutex.create (); f_done = Condition.create (); state = Pending } in
+  if t.jobs = 1 then begin
+    if t.closed then invalid_arg "Pool.submit: pool is shut down";
+    run_task fut f
+  end
+  else
+    locked t.lock (fun () ->
+        if t.closed then invalid_arg "Pool.submit: pool is shut down";
+        Queue.add (fun () -> run_task fut f) t.queue;
+        Condition.signal t.wake);
+  fut
+
+let is_pending fut = match fut.state with Pending -> true | Done _ | Failed _ -> false
+
+let await fut =
+  locked fut.f_lock (fun () ->
+      while is_pending fut do
+        Condition.wait fut.f_done fut.f_lock
+      done;
+      match fut.state with
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending -> assert false)
+
+let map t f xs = List.map await (List.map (fun x -> submit t (fun () -> f x)) xs)
+
+let shutdown t =
+  let ws =
+    locked t.lock (fun () ->
+        t.closed <- true;
+        Condition.broadcast t.wake;
+        let ws = t.workers in
+        t.workers <- [];
+        ws)
+  in
+  List.iter Domain.join ws
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run ?jobs f xs = with_pool ?jobs (fun t -> map t f xs)

@@ -1,0 +1,57 @@
+(** Fixed-size domain pool with futures, for the experiment harness.
+
+    The evaluation decomposes into independent per-(kernel, configuration)
+    measurement tasks whose results only need to be *assembled* in a fixed
+    order. The pool runs the tasks on [jobs] worker domains (OCaml 5
+    [Domain]s — real parallelism, no domainslib dependency) while
+    {!await}/{!map} hand results back in submission order, so any experiment
+    driven through the pool is bit-identical to its sequential run.
+
+    [jobs = 1] bypasses domains entirely: tasks execute inline at submission
+    time on the calling domain, in submission order — the exact sequential
+    semantics, useful both as the determinism reference and under
+    environments where spawning domains is undesirable.
+
+    Tasks must not share mutable state unless they synchronize themselves;
+    every harness task builds its own memory image, machine, hierarchy and
+    stats registry, so this holds by construction there. *)
+
+type t
+(** A pool of worker domains and a FIFO task queue. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size used when [?jobs]
+    is omitted. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [max 1 jobs] workers ([jobs = 1] spawns none). The pool
+    must be {!shutdown} (or created via {!with_pool}) or its domains leak
+    until exit. Raises [Invalid_argument] on [jobs < 1]. *)
+
+val jobs : t -> int
+
+type 'a future
+(** The pending result of a submitted task. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. With [jobs = 1] the task runs before [submit] returns.
+    Raises [Invalid_argument] if the pool is already shut down. *)
+
+val await : 'a future -> 'a
+(** Block until the task finishes; returns its value or re-raises the
+    exception it raised (with its backtrace). Idempotent. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Submit [f x] for every element, then await them all; the result list is
+    in input order regardless of completion order. If several tasks raise,
+    the earliest (by submission order) exception wins. *)
+
+val shutdown : t -> unit
+(** Drain the queue, wait for in-flight tasks, and join the workers.
+    Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run the body, always [shutdown]. *)
+
+val run : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot [with_pool] + [map]. *)

@@ -4,6 +4,7 @@ let () =
     (List.concat
        [
          Test_util.suites;
+         Test_pool.suites;
          Test_stats.suites;
          Test_riscv.suites;
          Test_interp.suites;

@@ -31,6 +31,56 @@ let multicore_threads_and_overhead () =
     r.Multicore.cycles;
   check Alcotest.bool "correct" true (k.Kernel.check mem = Ok ())
 
+(* Slice boundaries with n < cores: surplus slices are empty, only
+   populated ones spawn threads, and padding with empty slices leaves the
+   cycle count exactly at the dense (cores = populated) run's value. *)
+let multicore_sparse_slices () =
+  let k = Workloads.nn ~n:10 () in
+  let mem = Main_memory.create () in
+  k.Kernel.setup mem;
+  let sparse = Multicore.run ~cores:16 k mem in
+  check Alcotest.int "threads = populated slices" 10 sparse.Multicore.threads;
+  check Alcotest.int "one summary per populated slice" 10
+    (List.length sparse.Multicore.summaries);
+  check Alcotest.bool "correct" true (k.Kernel.check mem = Ok ());
+  let mem_dense = Main_memory.create () in
+  k.Kernel.setup mem_dense;
+  let dense = Multicore.run ~cores:10 k mem_dense in
+  check Alcotest.int "cycles unchanged vs dense run" dense.Multicore.cycles
+    sparse.Multicore.cycles;
+  check Alcotest.(list int) "per-slice cycles unchanged vs dense run"
+    (List.map (fun s -> s.Ooo_model.cycles) dense.Multicore.summaries)
+    (List.map (fun s -> s.Ooo_model.cycles) sparse.Multicore.summaries)
+
+let multicore_empty_high_slices () =
+  (* n divides cores: the populated slices sit at the tail of each group,
+     every other slice is empty. *)
+  let k = Workloads.nn ~n:4 () in
+  let mem = Main_memory.create () in
+  k.Kernel.setup mem;
+  let r = Multicore.run ~cores:16 k mem in
+  check Alcotest.int "four populated slices" 4 r.Multicore.threads;
+  check Alcotest.int "four summaries" 4 (List.length r.Multicore.summaries);
+  check Alcotest.bool "correct" true (k.Kernel.check mem = Ok ())
+
+let translation_memo_shares_results () =
+  let k = Workloads.find "bfs" in
+  let d1 = Runner.dfg_of_kernel k in
+  let d2 = Runner.dfg_of_kernel k in
+  check Alcotest.bool "same LDFG object" true (d1 == d2);
+  let p1 = Runner.placement_of ~grid:Grid.m128 k in
+  let p2 = Runner.placement_of ~grid:Grid.m128 k in
+  check Alcotest.bool "same placement object" true (p1 == p2);
+  let hits, misses = Runner.translation_cache_stats () in
+  check Alcotest.bool "cache hit recorded" true (hits >= 2);
+  check Alcotest.bool "cache miss recorded" true (misses >= 2);
+  (* Different geometry is a different key. *)
+  let p64 = Runner.placement_of ~grid:Grid.m64 k in
+  check Alcotest.bool "distinct grid, distinct entry" true (not (p64 == p1));
+  Runner.clear_translation_cache ();
+  let d3 = Runner.dfg_of_kernel k in
+  check Alcotest.bool "cleared cache rebuilds" true (not (d1 == d3))
+
 let mesa_measurement_checked () =
   let k = Workloads.find "srad" in
   let m, report = Runner.mesa k in
@@ -120,10 +170,13 @@ let suites =
         Alcotest.test_case "parallel speedup" `Quick multicore_parallel_speedup;
         Alcotest.test_case "serial kernel single thread" `Quick multicore_serial_kernel_single_thread;
         Alcotest.test_case "threads and overhead" `Quick multicore_threads_and_overhead;
+        Alcotest.test_case "sparse slices (n < cores)" `Quick multicore_sparse_slices;
+        Alcotest.test_case "empty high slices" `Quick multicore_empty_high_slices;
       ] );
     ( "runner",
       [
         Alcotest.test_case "mesa measurement" `Quick mesa_measurement_checked;
+        Alcotest.test_case "translation memo" `Quick translation_memo_shares_results;
         Alcotest.test_case "mem ports override" `Quick mesa_mem_ports_override;
         Alcotest.test_case "dfg of every kernel" `Quick dfg_of_kernel_total;
         Alcotest.test_case "speedup/efficiency" `Quick speedup_and_efficiency_helpers;

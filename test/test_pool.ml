@@ -1,0 +1,106 @@
+(* The domain pool under the harness: submission-order results, exception
+   propagation, inline jobs=1 mode — and the determinism guarantee the
+   parallel experiments rely on (identical tables at any job count). *)
+
+let check = Alcotest.check
+
+let squares = List.init 50 (fun i -> i * i)
+
+let map_preserves_submission_order () =
+  List.iter
+    (fun jobs ->
+      let got = Pool.run ~jobs (fun x -> x * x) (List.init 50 Fun.id) in
+      check (Alcotest.list Alcotest.int)
+        (Printf.sprintf "jobs=%d results in submission order" jobs)
+        squares got)
+    [ 1; 2; 4 ]
+
+let out_of_order_completion () =
+  (* Earlier tasks do more work than later ones, so with several workers
+     completion order inverts; await must still restore submission order. *)
+  let spin n =
+    let acc = ref 0 in
+    for i = 1 to (50 - n) * 10_000 do
+      acc := !acc + i
+    done;
+    ignore !acc;
+    n
+  in
+  let got = Pool.run ~jobs:4 spin (List.init 50 Fun.id) in
+  check (Alcotest.list Alcotest.int) "order restored" (List.init 50 Fun.id) got
+
+let jobs_one_runs_inline () =
+  let trace = ref [] in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let f1 = Pool.submit pool (fun () -> trace := 1 :: !trace) in
+      (* With jobs = 1 the task has already run when submit returns. *)
+      check (Alcotest.list Alcotest.int) "ran at submit" [ 1 ] !trace;
+      let f2 = Pool.submit pool (fun () -> trace := 2 :: !trace) in
+      Pool.await f1;
+      Pool.await f2);
+  check (Alcotest.list Alcotest.int) "submission order" [ 2; 1 ] !trace
+
+let exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let ok = Pool.submit pool (fun () -> 41 + 1) in
+          let bad = Pool.submit pool (fun () -> failwith "boom") in
+          check Alcotest.int "healthy task unaffected" 42 (Pool.await ok);
+          Alcotest.check_raises "failure re-raised at await" (Failure "boom")
+            (fun () -> Pool.await bad)))
+    [ 1; 4 ]
+
+let await_is_idempotent () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let f = Pool.submit pool (fun () -> 7) in
+      check Alcotest.int "first await" 7 (Pool.await f);
+      check Alcotest.int "second await" 7 (Pool.await f))
+
+let submit_after_shutdown_rejected () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit rejected"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> ())))
+
+let default_jobs_positive () =
+  check Alcotest.bool "recommended domain count >= 1" true (Pool.default_jobs () >= 1)
+
+(* qcheck: parallel map is extensionally List.map, for arbitrary inputs and
+   job counts. *)
+let qcheck_map_is_list_map =
+  QCheck.Test.make ~count:50 ~name:"Pool.run = List.map"
+    QCheck.(pair (int_range 1 6) (small_list small_int))
+    (fun (jobs, xs) ->
+      Pool.run ~jobs (fun x -> (2 * x) + 1) xs = List.map (fun x -> (2 * x) + 1) xs)
+
+(* Golden determinism for the experiment layer: the same figure at jobs=1
+   and jobs=4 must render the same table text and the same summary. *)
+let fig11_jobs_bit_identical () =
+  let kernels () = [ Workloads.find "gaussian"; Workloads.nn ~n:512 () ] in
+  let seq = Experiments.fig11 ~jobs:1 ~kernels:(kernels ()) () in
+  let par = Experiments.fig11 ~jobs:4 ~kernels:(kernels ()) () in
+  check Alcotest.string "table text identical"
+    (Tables.render seq.Experiments.table)
+    (Tables.render par.Experiments.table);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 0.0)))
+    "summaries identical" seq.Experiments.summary par.Experiments.summary
+
+let suites =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "submission order" `Quick map_preserves_submission_order;
+        Alcotest.test_case "out-of-order completion" `Quick out_of_order_completion;
+        Alcotest.test_case "jobs=1 inline" `Quick jobs_one_runs_inline;
+        Alcotest.test_case "exception propagation" `Quick exception_propagates;
+        Alcotest.test_case "await idempotent" `Quick await_is_idempotent;
+        Alcotest.test_case "shutdown semantics" `Quick submit_after_shutdown_rejected;
+        Alcotest.test_case "default jobs" `Quick default_jobs_positive;
+        QCheck_alcotest.to_alcotest qcheck_map_is_list_map;
+        Alcotest.test_case "fig11 jobs determinism" `Slow fig11_jobs_bit_identical;
+      ] );
+  ]
