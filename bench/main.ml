@@ -25,6 +25,7 @@ let experiments : (string * (jobs:int option -> Experiments.outcome)) list =
     ("table1", fun ~jobs -> Experiments.table1 ?jobs ());
     ("table2", fun ~jobs -> Experiments.table2 ?jobs ());
     ("ablation", fun ~jobs -> Ablation.experiment ?jobs ());
+    ("dse", fun ~jobs -> Dse.experiment ?jobs ());
   ]
 
 (* Figure-style ASCII charts rendered next to the tables. *)

@@ -393,6 +393,7 @@ let bench_cmd =
         ("table1", fun () -> Experiments.table1 ());
         ("table2", fun () -> Experiments.table2 ());
         ("ablation", fun () -> Ablation.experiment ());
+        ("dse", fun () -> Dse.experiment ());
       ]
       in
       List.fold_left
@@ -409,8 +410,170 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(term_result (const run $ names))
 
+(* ---------------- dse ---------------- *)
+
+let dse_cmd =
+  let list_opt name ~docv ~doc default =
+    Arg.(value & opt (some string) default & info [ name ] ~docv ~doc)
+  in
+  let kernels =
+    list_opt "kernels" ~docv:"K1,K2,..."
+      ~doc:"Comma-separated kernel subset (default nn,kmeans,bfs)." None
+  in
+  let grids =
+    list_opt "grids" ~docv:"RxC,..."
+      ~doc:"Grid geometries, e.g. 4x4,8x8,16x8 (default 4x4,8x4,8x8,16x8)." None
+  in
+  let ports =
+    list_opt "ports" ~docv:"N,..." ~doc:"Cache-port counts (default 2,4,8)." None
+  in
+  let kinds =
+    list_opt "kinds" ~docv:"KIND,..."
+      ~doc:"Interconnect backends: mesh_noc, hier_rows, pure_mesh (default mesh_noc)."
+      None
+  in
+  let l1 = list_opt "l1" ~docv:"KB,..." ~doc:"L1 capacities in KB (default 64)." None in
+  let l2 =
+    list_opt "l2" ~docv:"KB,..." ~doc:"L2 capacities in KB (default 8192)." None
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains; the result is bit-identical for any value.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Rewrite $(docv) after every completed point (atomic rename).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore completed points from --checkpoint before sweeping; the \
+             final result is bit-identical to an uninterrupted run.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Cap the sweep at $(docv) points: greedy exploration from \
+             deterministic seeds, expanding to lattice neighbours of the \
+             current Pareto frontier.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) fresh measurements (deterministic stand-in \
+             for an interrupted sweep; pair with --checkpoint).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the result (spec, outcomes, frontier) as JSON to $(docv).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write per-point spans in Chrome trace_event format to $(docv).")
+  in
+  let top =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N" ~doc:"Show only the $(docv) best-ranked rows.")
+  in
+  let split s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
+  let parse_list what conv field s =
+    match s with
+    | None -> Ok field
+    | Some s ->
+      List.fold_left
+        (fun acc tok ->
+          Result.bind acc (fun xs ->
+              match conv tok with
+              | Ok v -> Ok (v :: xs)
+              | Error e -> Error (`Msg (Printf.sprintf "bad %s %S: %s" what tok e))))
+        (Ok []) (split s)
+      |> Result.map List.rev
+  in
+  let int_tok t =
+    match int_of_string_opt t with Some i -> Ok i | None -> Error "not an integer"
+  in
+  let grid_tok t =
+    match String.index_opt t 'x' with
+    | Some i -> (
+      match
+        ( int_of_string_opt (String.sub t 0 i),
+          int_of_string_opt (String.sub t (i + 1) (String.length t - i - 1)) )
+      with
+      | Some r, Some c -> Ok (r, c)
+      | _ -> Error "expected ROWSxCOLS")
+    | None -> Error "expected ROWSxCOLS"
+  in
+  let run kernels grids ports kinds l1 l2 jobs checkpoint resume budget
+      stop_after out trace_out top =
+    let d = Dse.default_spec in
+    let ( let* ) = Result.bind in
+    let* kernels = parse_list "kernel" (fun t -> Ok t) d.Dse.kernels kernels in
+    let* grids = parse_list "grid" grid_tok d.Dse.grids grids in
+    let* ports = parse_list "port count" int_tok d.Dse.ports ports in
+    let* kinds = parse_list "interconnect" Dse.kind_of_string d.Dse.kinds kinds in
+    let* l1_kb = parse_list "L1 capacity" int_tok d.Dse.l1_kb l1 in
+    let* l2_kb = parse_list "L2 capacity" int_tok d.Dse.l2_kb l2 in
+    let spec = { Dse.kernels; grids; ports; kinds; l1_kb; l2_kb; budget } in
+    match Dse.run ?jobs ?checkpoint ~resume ?stop_after spec with
+    | Error e -> Error (`Msg e)
+    | Ok r ->
+      Tables.print (Dse.table ?top r);
+      Printf.printf
+        "\n%d point(s): %d measured, %d restored, %d on the Pareto frontier%s\n"
+        (List.length r.Dse.outcomes) r.Dse.evaluated r.Dse.restored
+        (List.length r.Dse.front)
+        (if r.Dse.complete then "" else " [interrupted by --stop-after]");
+      List.iter
+        (fun (o : Dse.outcome) ->
+          Printf.printf "  frontier: %-40s perf %.3f it/kc, %.3f it/kc/W\n"
+            (Dse.point_label o.Dse.point)
+            o.Dse.perf o.Dse.perf_per_watt)
+        r.Dse.front;
+      let write path json =
+        let oc = open_out path in
+        output_string oc (Json.to_string ~indent:2 json);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "written %s\n" path
+      in
+      Option.iter (fun p -> write p (Dse.result_to_json r)) out;
+      Option.iter (fun p -> write p (Trace.to_chrome_json r.Dse.timeline)) trace_out;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Explore the joint design space (grids, ports, interconnects, cache \
+          sizes) with a deterministic, resumable sweep")
+    Term.(
+      term_result
+        (const run $ kernels $ grids $ ports $ kinds $ l1 $ l2 $ jobs
+       $ checkpoint $ resume $ budget $ stop_after $ out $ trace_out $ top))
+
 let () =
   let doc = "MESA: microarchitecture extensions for spatial architecture generation" in
   let info = Cmd.info "mesa_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; bench_cmd ]))
+       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; bench_cmd; dse_cmd ]))

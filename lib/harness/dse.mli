@@ -1,0 +1,150 @@
+(** Deterministic, resumable design-space exploration over the joint
+    microarchitecture space.
+
+    A {!spec} names the axes of the sweep — kernel subset, grid geometries,
+    cache-port counts, interconnect backends, L1/L2 capacities — and the
+    explorer measures every combination (or, with a [budget], a greedy
+    subset expanding around the current Pareto frontier). Point enumeration
+    is a pure function of the spec and every measurement is deterministic,
+    so two runs of the same spec are bit-identical — including a run that
+    was killed and resumed from its checkpoint, at any [jobs] value: points
+    fan out across a {!Pool} but results are assembled in submission order,
+    and the checkpoint always holds a prefix of that order.
+
+    Each point runs the kernel's hot loop on the engine (translation shared
+    through {!Runner}'s memo: the LDFG once per kernel, the placement once
+    per (kernel, grid, interconnect)) and records cycles, the offload/reject
+    outcome, energy from {!Energy_model} and area from {!Area_model}. The
+    result carries a 2D Pareto {!frontier} over (performance,
+    performance-per-watt), a ranked table, a [dse] stats group
+    (points_evaluated / cache_hits / points_rejected / frontier_size) and
+    Chrome-trace timeline spans. *)
+
+(** One configuration of the joint space. *)
+type point = {
+  kernel : string;
+  rows : int;
+  cols : int;
+  mem_ports : int;
+  kind : Interconnect.kind;
+  l1_kb : int;
+  l2_kb : int;
+}
+
+val point_label : point -> string
+(** ["nn@16x8 p4 mesh_noc L1:64K L2:8192K"] — stable display/trace name. *)
+
+(** The measurement at one point. Rejected points ([mapped = false]) keep
+    the mapping or engine error in [reject] and zero metrics; they never
+    enter the frontier. *)
+type outcome = {
+  point : point;
+  mapped : bool;
+  reject : string option;
+  cycles : int;
+  iterations : int;
+  energy_nj : float;        (** accelerator energy over the loop *)
+  power_w : float;          (** average power at the nominal 2 GHz clock *)
+  area_mm2 : float;         (** accelerator area at this geometry *)
+  perf : float;             (** iterations per kilocycle (higher is better) *)
+  perf_per_watt : float;    (** [perf / power_w] *)
+}
+
+(** The sweep specification. Every axis list is deduplicated in user order;
+    the exhaustive point list is the cartesian product, kernels outermost,
+    L2 innermost. [budget = Some n] switches to capped greedy exploration:
+    deterministic seeds (lattice corners and centre per kernel), then
+    repeated expansion to the lattice neighbours of the current frontier
+    until the budget or the reachable space is exhausted. *)
+type spec = {
+  kernels : string list;
+  grids : (int * int) list;     (** (rows, cols) *)
+  ports : int list;
+  kinds : Interconnect.kind list;
+  l1_kb : int list;
+  l2_kb : int list;
+  budget : int option;
+}
+
+val default_spec : spec
+(** nn/kmeans/bfs over 4x4..16x8 grids, 2/4/8 ports, the mesh+NoC backend,
+    64 KB L1, 8 MB L2, no budget. *)
+
+val validate_spec : spec -> (unit, string) result
+(** Kernels exist, axes non-empty, geometries/ports/capacities positive
+    (capacities must keep the cache geometry valid: power-of-two KB). *)
+
+val points_of_spec : spec -> point list
+(** The exhaustive enumeration (pure; ignores [budget]). *)
+
+val evaluate : point -> outcome
+(** Measure one point (deterministic; safe to call from pool workers). *)
+
+val kind_to_string : Interconnect.kind -> string
+val kind_of_string : string -> (Interconnect.kind, string) result
+
+(** {2 Pareto frontier} *)
+
+val dominates : outcome -> outcome -> bool
+(** [dominates a b]: [a] is no worse on both (perf, perf-per-watt) axes and
+    strictly better on at least one. *)
+
+val frontier : outcome list -> outcome list
+(** The non-dominated mapped outcomes, in input order. *)
+
+val ranked : outcome list -> outcome list
+(** All outcomes sorted best-first: mapped before rejected, then perf,
+    perf-per-watt and label as deterministic tie-breakers. *)
+
+(** {2 Checkpoints} *)
+
+val checkpoint_to_json : spec -> outcome list -> Json.t
+val checkpoint_of_json : Json.t -> (spec * outcome list, string) result
+(** Inverse of {!checkpoint_to_json}: floats round-trip exactly (17
+    significant digits), so a frontier computed over restored outcomes is
+    bit-identical to one over freshly measured outcomes. *)
+
+(** {2 Running a sweep} *)
+
+type result = {
+  spec : spec;
+  outcomes : outcome list;  (** assembly order: enumeration order for
+                                exhaustive sweeps, evaluation order for
+                                budgeted ones *)
+  front : outcome list;
+  complete : bool;          (** false when [stop_after] cut the run short *)
+  evaluated : int;          (** points measured fresh by this run *)
+  restored : int;           (** points restored from the checkpoint *)
+  stats : Stats.snapshot;   (** the [dse] counter group *)
+  timeline : Trace.span list;  (** one span per point on a virtual
+                                   cumulative-cycles axis *)
+}
+
+val run :
+  ?jobs:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?stop_after:int ->
+  spec ->
+  (result, string) Stdlib.result
+(** Execute the sweep. [checkpoint] names a JSON file rewritten (atomically,
+    via a temp file + rename) after every completed point; [resume] loads it
+    first — completed points are restored instead of re-measured (counted as
+    [dse.cache_hits]) and the sweep continues where it left off. A missing
+    checkpoint file under [resume] is a fresh start; a checkpoint for a
+    different spec is an error. [stop_after n] returns after [n] fresh
+    measurements (the test suite's deterministic stand-in for a kill).
+    [jobs] sizes the worker pool; the result is bit-identical for any
+    value. *)
+
+val result_to_json : result -> Json.t
+(** Spec, outcomes and frontier only — everything that must be bit-identical
+    between an interrupted-then-resumed sweep and an uninterrupted one. *)
+
+val table : ?top:int -> result -> Tables.t
+(** The ranked table ([top] rows, default all), frontier points starred. *)
+
+val experiment : ?jobs:int -> unit -> Experiments.outcome
+(** The bench-harness entry: a small fixed sweep (nn and kmeans across four
+    geometries, two port counts), summarized by frontier size and the best
+    point on each axis. *)

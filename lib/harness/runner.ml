@@ -102,8 +102,25 @@ let placement_memo : (placement_key, (Placement.t, string) result) Hashtbl.t =
 
 let memo_hits = Atomic.make 0
 let memo_misses = Atomic.make 0
+let memo_evictions = Atomic.make 0
 
-let translation_cache_stats () = (Atomic.get memo_hits, Atomic.get memo_misses)
+(* Both tables share one capacity: a multi-hundred-point DSE sweep inserts a
+   placement per (kernel, grid, interconnect) and would otherwise grow
+   placement_memo without bound. Entries are cheap to recompute, so overflow
+   resets both tables wholesale rather than tracking recency. *)
+let memo_capacity = ref 512
+
+let translation_cache_capacity () = !memo_capacity
+
+let set_translation_cache_capacity n =
+  if n < 1 then
+    invalid_arg "Runner.set_translation_cache_capacity: capacity must be >= 1";
+  Mutex.lock memo_lock;
+  memo_capacity := n;
+  Mutex.unlock memo_lock
+
+let translation_cache_stats () =
+  (Atomic.get memo_hits, Atomic.get memo_misses, Atomic.get memo_evictions)
 
 let clear_translation_cache () =
   Mutex.lock memo_lock;
@@ -111,6 +128,7 @@ let clear_translation_cache () =
   Hashtbl.reset placement_memo;
   Atomic.set memo_hits 0;
   Atomic.set memo_misses 0;
+  Atomic.set memo_evictions 0;
   Mutex.unlock memo_lock
 
 let memoized table key compute =
@@ -125,6 +143,12 @@ let memoized table key compute =
       | None ->
         Atomic.incr memo_misses;
         let v = compute () in
+        if Hashtbl.length dfg_memo + Hashtbl.length placement_memo >= !memo_capacity
+        then begin
+          Hashtbl.reset dfg_memo;
+          Hashtbl.reset placement_memo;
+          Atomic.incr memo_evictions
+        end;
         Hashtbl.add table key v;
         v)
 

@@ -57,9 +57,19 @@ val placement_of :
     geometry and interconnect kind; mapping errors are cached too (they are
     equally deterministic). *)
 
-val translation_cache_stats : unit -> int * int
-(** [(hits, misses)] over both memo tables since start (or the last
-    {!clear_translation_cache}). *)
+val translation_cache_stats : unit -> int * int * int
+(** [(hits, misses, evictions)] over both memo tables since start (or the
+    last {!clear_translation_cache}). An eviction is a wholesale reset of
+    both tables on reaching the capacity bound. *)
+
+val translation_cache_capacity : unit -> int
+(** The combined entry bound across both memo tables (default 512). *)
+
+val set_translation_cache_capacity : int -> unit
+(** Change the bound. When an insert would reach it, both tables reset and
+    the eviction counter increments — a sweep over hundreds of placements
+    stays bounded while single-figure workloads never evict. Raises
+    [Invalid_argument] on a capacity below 1. *)
 
 val clear_translation_cache : unit -> unit
 (** Drop every memoized LDFG and placement (tests use this to measure cold

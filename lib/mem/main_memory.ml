@@ -64,6 +64,15 @@ let restore t ~from =
 
 let equal a b = Bytes.equal a.data b.data
 
+(* FNV-1a with the offset basis truncated to OCaml's 63-bit int, folded to a
+   non-negative value so it prints identically on every 64-bit platform. *)
+let checksum t =
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to Bytes.length t.data - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get t.data i)) * 0x100000001b3
+  done;
+  !h land max_int
+
 let blit_words t addr ws =
   Array.iteri (fun i w -> store_word t (addr + (4 * i)) w) ws
 

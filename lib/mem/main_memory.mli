@@ -54,6 +54,11 @@ val restore : t -> from:t -> unit
 val equal : t -> t -> bool
 (** Byte-wise equality, for functional-equivalence checks. *)
 
+val checksum : t -> int
+(** FNV-1a over the full contents, folded to a non-negative int — a compact
+    fingerprint of final memory for golden tests. Platform-stable on any
+    64-bit build. *)
+
 val blit_words : t -> int -> int array -> unit
 (** [blit_words t addr ws] stores consecutive words starting at [addr]. *)
 

@@ -1,0 +1,42 @@
+(* Golden kernel matrix: every workload on the M-64 reference config, pinned
+   by cycle count, offload count, the first reject/abandon reason (null when
+   fully accelerated) and an FNV-1a checksum of final memory. The dune rule
+   diffs this program's output against the checked-in golden_kernels.json;
+   any drift in timing, offload policy or architectural results for any of
+   the 20 kernels fails `dune runtest`.
+
+   To regenerate after an intentional change:
+
+     dune runtest; dune promote
+
+   (or `dune build @runtest --auto-promote`). *)
+
+let () =
+  let options = Controller.default_options ~grid:Grid.m64 () in
+  let entries =
+    List.map
+      (fun (k : Kernel.t) ->
+        let mem = Main_memory.create () in
+        let machine = Kernel.prepare k mem in
+        let report = Controller.run ~options k.Kernel.program machine in
+        (match k.Kernel.check mem with
+        | Ok () -> ()
+        | Error e -> failwith (Printf.sprintf "%s: wrong result: %s" k.Kernel.name e));
+        let reject =
+          List.fold_left
+            (fun acc (r : Controller.region_report) ->
+              match acc with Some _ -> acc | None -> r.Controller.reject_reason)
+            None report.Controller.regions
+        in
+        ( k.Kernel.name,
+          Json.Assoc
+            [
+              ("cycles", Json.Int report.Controller.total_cycles);
+              ("offloads", Json.Int report.Controller.offloads);
+              ( "reject",
+                match reject with None -> Json.Null | Some r -> Json.String r );
+              ("mem_checksum", Json.Int (Main_memory.checksum mem));
+            ] ))
+      (Workloads.all ())
+  in
+  print_string (Json.to_string ~indent:2 (Json.Assoc entries))

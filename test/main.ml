@@ -27,4 +27,5 @@ let () =
          Test_rv64.suites;
          Test_cse.suites;
          Test_fault.suites;
+         Test_dse.suites;
        ])

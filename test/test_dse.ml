@@ -1,0 +1,339 @@
+(* The design-space explorer: enumeration, Pareto frontier semantics,
+   checkpoint serialization, and the load-bearing guarantee — an
+   interrupted-then-resumed sweep is bit-identical to an uninterrupted one,
+   at any jobs value. *)
+
+let check = Alcotest.check
+
+let base_point =
+  {
+    Dse.kernel = "nn";
+    rows = 8;
+    cols = 8;
+    mem_ports = 4;
+    kind = Interconnect.Mesh_noc;
+    l1_kb = 64;
+    l2_kb = 8192;
+  }
+
+(* -------------------- enumeration -------------------- *)
+
+let points_of_spec_shape () =
+  let spec =
+    {
+      Dse.kernels = [ "nn"; "bfs"; "nn" ];  (* duplicate collapses *)
+      grids = [ (4, 4); (8, 8) ];
+      ports = [ 2; 8 ];
+      kinds = [ Interconnect.Mesh_noc ];
+      l1_kb = [ 64 ];
+      l2_kb = [ 1024; 8192 ];
+      budget = None;
+    }
+  in
+  let pts = Dse.points_of_spec spec in
+  check Alcotest.int "cartesian product of deduped axes" (2 * 2 * 2 * 1 * 1 * 2)
+    (List.length pts);
+  check Alcotest.string "kernels outermost" "nn" (List.hd pts).Dse.kernel;
+  (* L2 is the innermost axis: the first two points differ only in L2. *)
+  let p0 = List.nth pts 0 and p1 = List.nth pts 1 in
+  check Alcotest.int "first L2" 1024 p0.Dse.l2_kb;
+  check Alcotest.int "second L2" 8192 p1.Dse.l2_kb;
+  check Alcotest.bool "otherwise equal" true (p0 = { p1 with Dse.l2_kb = 1024 });
+  check Alcotest.int "labels are unique" (List.length pts)
+    (List.length (List.sort_uniq compare (List.map Dse.point_label pts)))
+
+let spec_validation () =
+  let ok s = match Dse.validate_spec s with Ok () -> true | Error _ -> false in
+  check Alcotest.bool "default spec valid" true (ok Dse.default_spec);
+  check Alcotest.bool "unknown kernel rejected" false
+    (ok { Dse.default_spec with Dse.kernels = [ "nosuch" ] });
+  check Alcotest.bool "empty axis rejected" false
+    (ok { Dse.default_spec with Dse.ports = [] });
+  check Alcotest.bool "bad grid rejected" false
+    (ok { Dse.default_spec with Dse.grids = [ (0, 4) ] });
+  check Alcotest.bool "non-pow2 cache rejected" false
+    (ok { Dse.default_spec with Dse.l1_kb = [ 48 ] });
+  check Alcotest.bool "zero budget rejected" false
+    (ok { Dse.default_spec with Dse.budget = Some 0 })
+
+(* -------------------- point evaluation -------------------- *)
+
+let evaluate_mapped_and_rejected () =
+  let good = Dse.evaluate base_point in
+  check Alcotest.bool "nn on 8x8 maps" true good.Dse.mapped;
+  check Alcotest.bool "cycles positive" true (good.Dse.cycles > 0);
+  check Alcotest.bool "energy positive" true (good.Dse.energy_nj > 0.0);
+  check Alcotest.bool "area positive" true (good.Dse.area_mm2 > 0.0);
+  check Alcotest.bool "perf positive" true (good.Dse.perf > 0.0);
+  check Alcotest.bool "perf/W positive" true (good.Dse.perf_per_watt > 0.0);
+  (* kmeans needs more FP PEs than an 8x4 fabric offers (cf. the robustness
+     fallback test): the mapper rejects, metrics stay zero. *)
+  let bad =
+    Dse.evaluate { base_point with Dse.kernel = "kmeans"; rows = 8; cols = 4 }
+  in
+  check Alcotest.bool "kmeans on 8x4 rejected" false bad.Dse.mapped;
+  check Alcotest.bool "reject reason recorded" true (bad.Dse.reject <> None);
+  check Alcotest.int "zero cycles" 0 bad.Dse.cycles
+
+(* -------------------- Pareto frontier -------------------- *)
+
+let gen_outcome_cloud =
+  let open QCheck2.Gen in
+  let outcome =
+    triple bool (int_bound 4) (int_bound 4) >>= fun (mapped, p, w) ->
+    return
+      {
+        Dse.point = base_point;
+        mapped;
+        reject = (if mapped then None else Some "no route");
+        cycles = 100;
+        iterations = 10;
+        energy_nj = 1.0;
+        power_w = 1.0;
+        area_mm2 = 1.0;
+        perf = float_of_int p;
+        perf_per_watt = float_of_int w;
+      }
+  in
+  list_size (0 -- 12) outcome
+
+let print_outcome_cloud outs =
+  String.concat "; "
+    (List.map
+       (fun (o : Dse.outcome) ->
+         Printf.sprintf "%c(%.0f,%.0f)"
+           (if o.Dse.mapped then 'm' else 'r')
+           o.Dse.perf o.Dse.perf_per_watt)
+       outs)
+
+let frontier_is_exactly_the_nondominated_set =
+  QCheck2.Test.make
+    ~name:"frontier = mapped points no mapped point dominates" ~count:300
+    ~print:print_outcome_cloud gen_outcome_cloud (fun outs ->
+      let f = Dse.frontier outs in
+      let mapped = List.filter (fun (o : Dse.outcome) -> o.Dse.mapped) outs in
+      List.for_all (fun (o : Dse.outcome) -> o.Dse.mapped) f
+      (* no frontier point is dominated *)
+      && List.for_all
+           (fun o -> not (List.exists (fun x -> Dse.dominates x o) mapped))
+           f
+      (* every dominated (or rejected) point is excluded; every
+         non-dominated mapped point is present *)
+      && List.for_all
+           (fun o ->
+             let dominated = List.exists (fun x -> Dse.dominates x o) mapped in
+             List.mem o f = not dominated)
+           mapped
+      (* input order preserved *)
+      && f = List.filter (fun o -> List.mem o f) outs)
+
+let dominates_axioms () =
+  let o perf ppw = { (Dse.evaluate base_point) with Dse.perf; perf_per_watt = ppw } in
+  check Alcotest.bool "strictly better both" true (Dse.dominates (o 2. 2.) (o 1. 1.));
+  check Alcotest.bool "better one, equal other" true (Dse.dominates (o 2. 1.) (o 1. 1.));
+  check Alcotest.bool "equal dominates nothing" false (Dse.dominates (o 1. 1.) (o 1. 1.));
+  check Alcotest.bool "trade-off incomparable" false (Dse.dominates (o 2. 1.) (o 1. 2.));
+  check Alcotest.bool "irreflexive under trade-off" false (Dse.dominates (o 1. 2.) (o 2. 1.))
+
+(* -------------------- checkpoint serialization -------------------- *)
+
+let gen_finite =
+  let open QCheck2.Gen in
+  pair (int_range (-4000) 4000) (int_range (-8) 8) >>= fun (m, e) ->
+  return (float_of_int m *. (2.0 ** float_of_int e))
+
+let gen_kind =
+  QCheck2.Gen.oneofl
+    [ Interconnect.Mesh_noc; Interconnect.Hierarchical_rows; Interconnect.Pure_mesh ]
+
+let gen_point =
+  let open QCheck2.Gen in
+  oneofl [ "nn"; "kmeans"; "bfs"; "lud" ] >>= fun kernel ->
+  int_range 1 16 >>= fun rows ->
+  int_range 1 16 >>= fun cols ->
+  oneofl [ 1; 2; 4; 8 ] >>= fun mem_ports ->
+  gen_kind >>= fun kind ->
+  oneofl [ 16; 64; 256 ] >>= fun l1_kb ->
+  oneofl [ 1024; 8192 ] >>= fun l2_kb ->
+  return { Dse.kernel; rows; cols; mem_ports; kind; l1_kb; l2_kb }
+
+let gen_saved_outcome =
+  let open QCheck2.Gen in
+  gen_point >>= fun point ->
+  bool >>= fun mapped ->
+  int_bound 1_000_000 >>= fun cycles ->
+  int_bound 10_000 >>= fun iterations ->
+  gen_finite >>= fun energy_nj ->
+  gen_finite >>= fun power_w ->
+  gen_finite >>= fun area_mm2 ->
+  gen_finite >>= fun perf ->
+  gen_finite >>= fun perf_per_watt ->
+  return
+    {
+      Dse.point;
+      mapped;
+      reject = (if mapped then None else Some "mapper: no route");
+      cycles;
+      iterations;
+      energy_nj;
+      power_w;
+      area_mm2;
+      perf;
+      perf_per_watt;
+    }
+
+let gen_checkpoint =
+  let open QCheck2.Gen in
+  let spec =
+    list_size (1 -- 3) (oneofl [ "nn"; "bfs"; "kmeans" ]) >>= fun kernels ->
+    list_size (1 -- 3) (pair (int_range 1 16) (int_range 1 16)) >>= fun grids ->
+    list_size (1 -- 3) (oneofl [ 1; 2; 4; 8 ]) >>= fun ports ->
+    list_size (1 -- 2) gen_kind >>= fun kinds ->
+    list_size (1 -- 2) (oneofl [ 16; 64 ]) >>= fun l1_kb ->
+    list_size (1 -- 2) (oneofl [ 1024; 8192 ]) >>= fun l2_kb ->
+    opt (int_range 1 20) >>= fun budget ->
+    return { Dse.kernels; grids; ports; kinds; l1_kb; l2_kb; budget }
+  in
+  pair spec (list_size (0 -- 8) gen_saved_outcome)
+
+let print_checkpoint (spec, outs) =
+  Json.to_string ~indent:2 (Dse.checkpoint_to_json spec outs)
+
+let checkpoint_roundtrip_random =
+  QCheck2.Test.make
+    ~name:"checkpoint decode after encode is the identity" ~count:200
+    ~print:print_checkpoint gen_checkpoint (fun (spec, outs) ->
+      let text = Json.to_string ~indent:2 (Dse.checkpoint_to_json spec outs) in
+      match Result.bind (Json.of_string text) Dse.checkpoint_of_json with
+      | Error _ -> false
+      | Ok (spec', outs') -> spec' = spec && outs' = outs)
+
+(* -------------------- resumable runs -------------------- *)
+
+let small_spec =
+  {
+    Dse.kernels = [ "gaussian"; "nn" ];
+    grids = [ (4, 4); (8, 8) ];
+    ports = [ 4; 8 ];
+    kinds = [ Interconnect.Mesh_noc ];
+    l1_kb = [ 64 ];
+    l2_kb = [ 8192 ];
+    budget = None;
+  }
+
+let result_text r = Json.to_string ~indent:2 (Dse.result_to_json r)
+
+let with_ckpt_file f =
+  let path = Filename.temp_file ~temp_dir:(Sys.getcwd ()) "dse_ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let run_exn ?jobs ?checkpoint ?resume ?stop_after spec =
+  match Dse.run ?jobs ?checkpoint ?resume ?stop_after spec with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("Dse.run: " ^ e)
+
+let resume_is_bit_identical () =
+  let full = run_exn ~jobs:1 small_spec in
+  check Alcotest.int "eight points" 8 (List.length full.Dse.outcomes);
+  check Alcotest.bool "complete" true full.Dse.complete;
+  check Alcotest.bool "frontier non-empty" true (full.Dse.front <> []);
+  with_ckpt_file (fun ckpt ->
+      let cut = run_exn ~jobs:2 ~checkpoint:ckpt ~stop_after:3 small_spec in
+      check Alcotest.bool "interrupted" false cut.Dse.complete;
+      check Alcotest.int "three fresh points" 3 cut.Dse.evaluated;
+      (* A killed sweep resumes from the checkpoint file alone — at a
+         different jobs value — and must reproduce the uninterrupted
+         result bit for bit. *)
+      let resumed = run_exn ~jobs:3 ~checkpoint:ckpt ~resume:true small_spec in
+      check Alcotest.bool "resumed to completion" true resumed.Dse.complete;
+      check Alcotest.int "three restored" 3 resumed.Dse.restored;
+      check Alcotest.int "five fresh" 5 resumed.Dse.evaluated;
+      check Alcotest.string "bit-identical result" (result_text full)
+        (result_text resumed);
+      (* The final checkpoint holds the complete sweep. *)
+      let ic = open_in ckpt in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Result.bind (Json.of_string text) Dse.checkpoint_of_json with
+      | Error e -> Alcotest.fail ("final checkpoint unreadable: " ^ e)
+      | Ok (_, outs) ->
+        check Alcotest.int "checkpoint holds all points" 8 (List.length outs))
+
+let jobs_value_is_immaterial () =
+  let a = run_exn ~jobs:1 small_spec and b = run_exn ~jobs:4 small_spec in
+  check Alcotest.string "jobs=1 equals jobs=4" (result_text a) (result_text b)
+
+let mismatched_checkpoint_rejected () =
+  with_ckpt_file (fun ckpt ->
+      let _ = run_exn ~jobs:1 ~checkpoint:ckpt ~stop_after:1 small_spec in
+      let other = { small_spec with Dse.ports = [ 2 ] } in
+      match Dse.run ~checkpoint:ckpt ~resume:true other with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "checkpoint from a different spec must be rejected")
+
+let budget_run_is_deterministic () =
+  let spec =
+    {
+      Dse.kernels = [ "nn" ];
+      grids = [ (4, 4); (8, 4); (8, 8); (16, 8) ];
+      ports = [ 2; 4; 8 ];
+      kinds = [ Interconnect.Mesh_noc ];
+      l1_kb = [ 64 ];
+      l2_kb = [ 8192 ];
+      budget = Some 6;
+    }
+  in
+  let a = run_exn ~jobs:1 spec and b = run_exn ~jobs:4 spec in
+  check Alcotest.bool "budget respected" true (List.length a.Dse.outcomes <= 6);
+  check Alcotest.bool "budget explores something" true (a.Dse.outcomes <> []);
+  check Alcotest.string "greedy trajectory deterministic" (result_text a)
+    (result_text b);
+  (* Interrupt + resume must replay the same trajectory: restored points
+     count against the budget exactly like fresh ones. *)
+  with_ckpt_file (fun ckpt ->
+      let _ = run_exn ~jobs:2 ~checkpoint:ckpt ~stop_after:2 spec in
+      let resumed = run_exn ~jobs:2 ~checkpoint:ckpt ~resume:true spec in
+      check Alcotest.string "budgeted resume bit-identical" (result_text a)
+        (result_text resumed))
+
+let stats_and_timeline () =
+  let r = run_exn ~jobs:2 small_spec in
+  let s = r.Dse.stats in
+  let get p =
+    match Stats.find s p with
+    | Some (Stats.VInt i) -> i
+    | _ -> Alcotest.fail ("missing dse stat " ^ p)
+  in
+  check Alcotest.int "points_evaluated" 8 (get "dse.points_evaluated");
+  check Alcotest.int "cache_hits" 0 (get "dse.cache_hits");
+  check Alcotest.int "frontier_size" (List.length r.Dse.front)
+    (get "dse.frontier_size");
+  check Alcotest.int "one span per point" (List.length r.Dse.outcomes)
+    (List.length r.Dse.timeline);
+  (* The ranked table renders one data row per outcome. *)
+  let t = Dse.table r in
+  check Alcotest.int "table rows" (List.length r.Dse.outcomes)
+    (List.length (Tables.data_rows t))
+
+let suites =
+  [
+    ( "dse",
+      [
+        Alcotest.test_case "points_of_spec shape" `Quick points_of_spec_shape;
+        Alcotest.test_case "spec validation" `Quick spec_validation;
+        Alcotest.test_case "evaluate mapped and rejected" `Quick
+          evaluate_mapped_and_rejected;
+        Alcotest.test_case "dominates axioms" `Quick dominates_axioms;
+        QCheck_alcotest.to_alcotest frontier_is_exactly_the_nondominated_set;
+        QCheck_alcotest.to_alcotest checkpoint_roundtrip_random;
+        Alcotest.test_case "resume is bit-identical" `Slow resume_is_bit_identical;
+        Alcotest.test_case "jobs value immaterial" `Slow jobs_value_is_immaterial;
+        Alcotest.test_case "mismatched checkpoint rejected" `Quick
+          mismatched_checkpoint_rejected;
+        Alcotest.test_case "budgeted run deterministic" `Slow
+          budget_run_is_deterministic;
+        Alcotest.test_case "stats and timeline" `Quick stats_and_timeline;
+      ] );
+  ]

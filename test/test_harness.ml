@@ -71,7 +71,7 @@ let translation_memo_shares_results () =
   let p1 = Runner.placement_of ~grid:Grid.m128 k in
   let p2 = Runner.placement_of ~grid:Grid.m128 k in
   check Alcotest.bool "same placement object" true (p1 == p2);
-  let hits, misses = Runner.translation_cache_stats () in
+  let hits, misses, _ = Runner.translation_cache_stats () in
   check Alcotest.bool "cache hit recorded" true (hits >= 2);
   check Alcotest.bool "cache miss recorded" true (misses >= 2);
   (* Different geometry is a different key. *)
@@ -80,6 +80,34 @@ let translation_memo_shares_results () =
   Runner.clear_translation_cache ();
   let d3 = Runner.dfg_of_kernel k in
   check Alcotest.bool "cleared cache rebuilds" true (not (d1 == d3))
+
+let translation_memo_eviction () =
+  let saved = Runner.translation_cache_capacity () in
+  Fun.protect
+    ~finally:(fun () ->
+      Runner.set_translation_cache_capacity saved;
+      Runner.clear_translation_cache ())
+    (fun () ->
+      Runner.clear_translation_cache ();
+      Runner.set_translation_cache_capacity 3;
+      check Alcotest.int "capacity readable" 3 (Runner.translation_cache_capacity ());
+      (* Each kernel costs one dfg_memo entry; four distinct grids per kernel
+         cost four placement_memo entries — far past a bound of 3. *)
+      let k = Workloads.find "bfs" in
+      let grids =
+        List.map (fun rows -> Grid.make ~rows ~cols:4 ()) [ 2; 4; 6; 8 ]
+      in
+      List.iter (fun grid -> ignore (Runner.placement_of ~grid k)) grids;
+      let _, _, evictions = Runner.translation_cache_stats () in
+      check Alcotest.bool "overflow resets the tables" true (evictions >= 1);
+      (* The memo still works after a reset: a repeated lookup hits. *)
+      let p1 = Runner.placement_of ~grid:(List.hd grids) k in
+      let p2 = Runner.placement_of ~grid:(List.hd grids) k in
+      check Alcotest.bool "recompute after eviction is shared" true (p1 == p2);
+      check Alcotest.bool "capacity below 1 rejected" true
+        (match Runner.set_translation_cache_capacity 0 with
+        | () -> false
+        | exception Invalid_argument _ -> true))
 
 let mesa_measurement_checked () =
   let k = Workloads.find "srad" in
@@ -177,6 +205,7 @@ let suites =
       [
         Alcotest.test_case "mesa measurement" `Quick mesa_measurement_checked;
         Alcotest.test_case "translation memo" `Quick translation_memo_shares_results;
+        Alcotest.test_case "translation memo eviction" `Quick translation_memo_eviction;
         Alcotest.test_case "mem ports override" `Quick mesa_mem_ports_override;
         Alcotest.test_case "dfg of every kernel" `Quick dfg_of_kernel_total;
         Alcotest.test_case "speedup/efficiency" `Quick speedup_and_efficiency_helpers;

@@ -184,6 +184,46 @@ let sibling_loops_both_considered () =
        accepted);
   check Alcotest.int "register outcome" (300 * 4) (Machine.get_x machine t1)
 
+(* {2 Property: any kernel, any geometry, any interconnect — the
+   accelerator's architectural side effects (memory and live-out registers)
+   equal the CPU interpreter's, and the cycle accounting closes. Fault-free
+   counterpart of test_fault's random-schedule property. *)
+
+let gen_arch_case =
+  let open QCheck2.Gen in
+  let n_kernels = List.length (Workloads.all ()) in
+  0 -- (n_kernels - 1) >>= fun ki ->
+  oneofl [ 4; 6; 8; 16 ] >>= fun rows ->
+  oneofl [ 4; 8 ] >>= fun cols ->
+  oneofl [ 1; 2; 4; 8; 16 ] >>= fun ports ->
+  oneofl
+    [ Interconnect.Mesh_noc; Interconnect.Hierarchical_rows; Interconnect.Pure_mesh ]
+  >>= fun kind -> return (ki, rows, cols, ports, kind)
+
+let print_arch_case (ki, rows, cols, ports, kind) =
+  let k = List.nth (Workloads.all ()) ki in
+  Printf.sprintf "%s on %dx%d ports=%d kind=%s" k.Kernel.name rows cols ports
+    (Dse.kind_to_string kind)
+
+let accel_matches_interpreter =
+  QCheck2.Test.make ~name:"random configs: accelerator matches the interpreter"
+    ~count:12 ~print:print_arch_case gen_arch_case
+    (fun (ki, rows, cols, ports, kind) ->
+      let k = List.nth (Workloads.all ()) ki in
+      let mem = Main_memory.create () in
+      let machine = Kernel.prepare k mem in
+      let expected = Machine.copy machine ~mem:(Main_memory.copy mem) () in
+      let _ = Interp.run k.Kernel.program expected in
+      let grid = Grid.make ~rows ~cols ~mem_ports:ports () in
+      let options = { (Controller.default_options ~grid ()) with Controller.kind } in
+      let report = Controller.run ~options k.Kernel.program machine in
+      Main_memory.equal expected.Machine.mem mem
+      && Machine.arch_equal expected machine
+      && k.Kernel.check mem = Ok ()
+      && report.Controller.total_cycles
+         = report.Controller.cpu_cycles + report.Controller.accel_cycles
+           + report.Controller.overhead_cycles)
+
 let suites =
   [
     ( "robustness",
@@ -200,5 +240,6 @@ let suites =
         Alcotest.test_case "single-trip loop" `Quick single_trip_loop;
         Alcotest.test_case "very long loop in windows" `Quick very_long_loop_windows;
         Alcotest.test_case "sibling loops" `Quick sibling_loops_both_considered;
+        QCheck_alcotest.to_alcotest accel_matches_interpreter;
       ] );
   ]

@@ -88,6 +88,51 @@ let json_roundtrip () =
       check Alcotest.bool "round-trip preserves every entry" true
         (Stats.to_assoc s = Stats.to_assoc s'))
 
+(* Randomized counterpart: any registry shape must survive the full
+   text round-trip (to_json, print, parse, of_json). Histograms always get
+   at least one observation — an empty histogram normalizes its min/max
+   sentinels on serialization, so identity only holds for observed ones. *)
+let gen_registry_spec =
+  let open QCheck2.Gen in
+  let finite =
+    pair (int_range (-4000) 4000) (int_range (-8) 8) >>= fun (m, e) ->
+    return (float_of_int m *. (2.0 ** float_of_int e))
+  in
+  let group_spec =
+    pair
+      (list_size (0 -- 3) (int_bound 1_000_000))
+      (list_size (0 -- 2) (list_size (1 -- 5) finite))
+  in
+  list_size (1 -- 3) group_spec
+
+let build_registry spec =
+  let reg = Stats.registry () in
+  List.iteri
+    (fun gi (counters, hists) ->
+      let g = Stats.group reg (Printf.sprintf "g%d" gi) in
+      List.iteri
+        (fun ci v -> Stats.add (Stats.counter g (Printf.sprintf "c%d" ci)) v)
+        counters;
+      List.iteri
+        (fun hi obs ->
+          let h = Stats.histogram g (Printf.sprintf "h%d" hi) in
+          List.iter (Stats.observe h) obs)
+        hists)
+    spec;
+  reg
+
+let print_registry_spec spec =
+  Stats.to_flat_text (Stats.snapshot (build_registry spec))
+
+let json_roundtrip_random =
+  QCheck2.Test.make ~name:"json round-trip is the identity on random snapshots"
+    ~count:100 ~print:print_registry_spec gen_registry_spec (fun spec ->
+      let s = Stats.snapshot (build_registry spec) in
+      let text = Json.to_string ~indent:2 (Stats.to_json s) in
+      match Result.bind (Json.of_string text) Stats.of_json with
+      | Error _ -> false
+      | Ok s' -> Stats.to_assoc s' = Stats.to_assoc s)
+
 let flat_text_lists_every_path () =
   let s = Stats.snapshot (sample_registry ()) in
   let text = Stats.to_flat_text s in
@@ -241,6 +286,7 @@ let suites =
         Alcotest.test_case "registration and paths" `Quick registration_and_paths;
         Alcotest.test_case "duplicate names rejected" `Quick duplicate_names_rejected;
         Alcotest.test_case "json round-trip" `Quick json_roundtrip;
+        QCheck_alcotest.to_alcotest json_roundtrip_random;
         Alcotest.test_case "flat text dump" `Quick flat_text_lists_every_path;
         Alcotest.test_case "diff reports changes only" `Quick diff_reports_changes_only;
         Alcotest.test_case "invariant checker" `Quick invariant_checker_catches_bad_state;
