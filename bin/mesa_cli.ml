@@ -30,6 +30,21 @@ let find_kernel name =
   | exception Not_found ->
     Error (`Msg (Printf.sprintf "unknown kernel %S; try `mesa_cli list`" name))
 
+let write_text path contents =
+  try
+    let oc = open_out path in
+    output_string oc contents;
+    output_char oc '\n';
+    close_out oc;
+    Ok ()
+  with Sys_error e -> Error (`Msg ("cannot write " ^ e))
+
+let read_json path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents ->
+    Result.map_error (fun e -> `Msg (path ^ ": " ^ e)) (Json.of_string contents)
+  | exception Sys_error e -> Error (`Msg ("cannot read " ^ e))
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -285,6 +300,223 @@ let run_cmd =
       term_result
         (const run $ kernel_arg $ grid_arg $ no_opt $ no_iter $ inject_arg
        $ fault_seed $ stats_json $ trace_out))
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the profile as diffable mesa-profile-v1 JSON to $(docv) \
+             (feed two of these to `mesa_cli profile-diff`).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the full Perfetto timeline to $(docv): controller spans on \
+             lane (0,0) plus one lane per PE / load-store entry / cache port.")
+  in
+  let no_opt =
+    Arg.(value & flag & info [ "no-optimize" ] ~doc:"Disable MESA's optimizations.")
+  in
+  let no_iter =
+    Arg.(value & flag & info [ "no-iterative" ] ~doc:"Disable runtime reoptimization.")
+  in
+  let run name pes no_opt no_iter json_out trace_out =
+    Result.bind (find_kernel name) (fun (k : Kernel.t) ->
+        let grid = grid_of pes in
+        let _m, report =
+          Runner.mesa ~grid ~optimize:(not no_opt) ~iterative:(not no_iter)
+            ~profile:true k
+        in
+        match Profile.of_report ~kernel:k.Kernel.name report with
+        | Error e -> Error (`Msg e)
+        | Ok p ->
+          print_string (Profile.render p);
+          if not (Profile.closes p) then
+            Error (`Msg "internal error: profile buckets do not close")
+          else
+            let dump what path json =
+              match path with
+              | None -> Ok ()
+              | Some f ->
+                Result.map
+                  (fun () -> Printf.printf "%s written to %s\n" what f)
+                  (write_text f (Json.to_string ~indent:2 json))
+            in
+            Result.bind (dump "profile" json_out (Profile.to_json p)) (fun () ->
+                match trace_out with
+                | None -> Ok ()
+                | Some _ ->
+                  let att = Option.get report.Controller.attribution in
+                  dump "trace" trace_out
+                    (Trace.to_chrome_json
+                       (report.Controller.timeline @ Profile.timeline att))))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a kernel with cycle attribution: per-PE stall taxonomy, \
+          utilization heatmaps, II decomposition and the dominant bottleneck")
+    Term.(
+      term_result
+        (const run $ kernel_arg $ grid_arg $ no_opt $ no_iter $ json_out
+       $ trace_out))
+
+(* ---------------- profile-diff ---------------- *)
+
+let profile_diff_cmd =
+  let before_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE.json"
+           ~doc:"Baseline profile (from `mesa_cli profile --json`).")
+  in
+  let after_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER.json"
+           ~doc:"Candidate profile to gate.")
+  in
+  let max_regress =
+    Arg.(
+      value & opt float 5.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Fail (non-zero exit) when any stall bucket or the attributed \
+             cycle total grows by more than $(docv) percent.")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string float) []
+      & info [ "tolerance" ] ~docv:"BUCKET=PCT"
+          ~doc:
+            "Per-bucket override of --max-regress (repeatable), e.g. \
+             --tolerance noc_stall=20.")
+  in
+  let run before after max_regress tolerances =
+    let ( let* ) = Result.bind in
+    let load path =
+      let* j = read_json path in
+      Result.map_error (fun e -> `Msg (path ^ ": " ^ e)) (Profile.of_json j)
+    in
+    let* b = load before in
+    let* a = load after in
+    if not (Profile.closes a) then
+      Error (`Msg (after ^ ": profile buckets do not close"))
+    else
+      match Profile.diff ~tolerances ~max_regress b a with
+      | [] ->
+        Printf.printf "profile-diff: OK (no bucket grew past %.1f%%)\n" max_regress;
+        Ok ()
+      | vs ->
+        print_string (Profile.render_violations vs);
+        Error
+          (`Msg
+            (Printf.sprintf "%d profile regression(s) past the threshold"
+               (List.length vs)))
+  in
+  Cmd.v
+    (Cmd.info "profile-diff"
+       ~doc:
+         "Gate one profile JSON against another: non-zero exit when a stall \
+          bucket regresses past the tolerance")
+    Term.(
+      term_result
+        (const run $ before_arg $ after_arg $ max_regress $ tolerance))
+
+(* ---------------- stats-diff ---------------- *)
+
+let stats_diff_cmd =
+  let before_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE.json"
+           ~doc:"Baseline counter tree (from `mesa_cli run --stats-json`).")
+  in
+  let after_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER.json"
+           ~doc:"Candidate counter tree to gate.")
+  in
+  let max_regress =
+    Arg.(
+      value & opt float 0.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Fail (non-zero exit) when any gated counter grows by more than \
+             $(docv) percent (default 0: any increase fails).")
+  in
+  let paths =
+    Arg.(
+      value & opt_all string []
+      & info [ "path" ] ~docv:"PREFIX"
+          ~doc:
+            "Gate only counters whose dotted path starts with $(docv) \
+             (repeatable); every changed counter is still printed. Default: \
+             gate the cycle accounts \
+             (controller.total_cycles/accel_cycles/overhead_cycles and \
+             cpu.cycles).")
+  in
+  let run before after max_regress paths =
+    let ( let* ) = Result.bind in
+    let load path =
+      let* j = read_json path in
+      Result.map_error (fun e -> `Msg (path ^ ": " ^ e)) (Stats.of_json j)
+    in
+    let* b = load before in
+    let* a = load after in
+    let deltas = Stats.diff b a in
+    let gated_prefixes =
+      match paths with
+      | [] ->
+        [
+          "controller.total_cycles"; "controller.accel_cycles";
+          "controller.overhead_cycles"; "cpu.cycles";
+        ]
+      | ps -> ps
+    in
+    let gated (d : Stats.delta) =
+      List.exists
+        (fun p -> String.starts_with ~prefix:p d.Stats.path)
+        gated_prefixes
+    in
+    List.iter
+      (fun (d : Stats.delta) ->
+        Printf.printf "  %c %-48s %.6g -> %.6g\n"
+          (if gated d then '*' else ' ')
+          d.Stats.path d.Stats.before d.Stats.after)
+      deltas;
+    let violations =
+      List.filter
+        (fun (d : Stats.delta) ->
+          gated d
+          && d.Stats.after
+             > (d.Stats.before *. (1.0 +. (max_regress /. 100.0))) +. 1e-9)
+        deltas
+    in
+    match violations with
+    | [] ->
+      Printf.printf "stats-diff: OK (%d changed counter(s), none gated past %.1f%%)\n"
+        (List.length deltas) max_regress;
+      Ok ()
+    | vs ->
+      List.iter
+        (fun (d : Stats.delta) ->
+          Printf.printf "REGRESSED %s: %.6g -> %.6g (limit +%.1f%%)\n"
+            d.Stats.path d.Stats.before d.Stats.after max_regress)
+        vs;
+      Error
+        (`Msg
+          (Printf.sprintf "%d counter regression(s) past the threshold"
+             (List.length vs)))
+  in
+  Cmd.v
+    (Cmd.info "stats-diff"
+       ~doc:
+         "Gate one stats JSON against another: non-zero exit when a gated \
+          counter regresses past the tolerance")
+    Term.(term_result (const run $ before_arg $ after_arg $ max_regress $ paths))
 
 (* ---------------- schedule ---------------- *)
 
@@ -576,4 +808,4 @@ let () =
   let doc = "MESA: microarchitecture extensions for spatial architecture generation" in
   let info = Cmd.info "mesa_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; bench_cmd; dse_cmd ]))
+       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; profile_cmd; profile_diff_cmd; stats_diff_cmd; bench_cmd; dse_cmd ]))

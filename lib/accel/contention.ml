@@ -12,21 +12,23 @@ let create ~capacity =
   if capacity <= 0 then invalid_arg "Contention.create: capacity must be positive";
   { capacity; slots = Hashtbl.create initial_slots; claimed = 0 }
 
-let claim t ready =
+let claim_slot t ready =
   let rec find c =
     let used = Option.value (Hashtbl.find_opt t.slots c) ~default:0 in
     if used < t.capacity then begin
       Hashtbl.replace t.slots c (used + 1);
-      c
+      (c, used)
     end
     else find (c + 1)
   in
   let start = int_of_float (Float.ceil ready) in
-  let cycle = find (max 0 start) in
+  let cycle, slot = find (max 0 start) in
   t.claimed <- t.claimed + 1;
-  Float.max ready (float_of_int cycle)
+  (Float.max ready (float_of_int cycle), slot)
 
+let claim t ready = fst (claim_slot t ready)
 let claimed t = t.claimed
+let busy_cycles t = Hashtbl.length t.slots
 
 let reset ?capacity t =
   (match capacity with

@@ -17,8 +17,17 @@ val claim : t -> float -> float
 (** [claim t ready] books a slot and returns the issue time (>= [ready]).
     The queuing delay is [claim t ready -. ready]. *)
 
+val claim_slot : t -> float -> float * int
+(** Like {!claim}, additionally returning which of the [capacity] sub-slots
+    of the issue cycle the claim took (0-based occupancy order) — the
+    profiler uses it as a deterministic port index for timeline lanes. *)
+
 val claimed : t -> int
 (** Total operations booked. *)
+
+val busy_cycles : t -> int
+(** Number of distinct cycles with at least one booked operation — the
+    numerator of the resource's utilization. *)
 
 val reset : ?capacity:int -> t -> unit
 (** Forget every booked slot (and optionally change the capacity), restoring

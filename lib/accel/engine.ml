@@ -30,7 +30,7 @@ let contention_scratch : Contention.t Stack.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Stack.create ())
 
 let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window = 512)
-    ~(config : Accel_config.t) ~(dfg : Dfg.t)
+    ?attribution ~(config : Accel_config.t) ~(dfg : Dfg.t)
     ~(machine : Machine.t) ~(hier : Hierarchy.t) () =
   match Placement.validate dfg config.placement with
   | Error e -> Error ("invalid placement: " ^ e)
@@ -63,6 +63,19 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
             Option.iter (fun s -> ds := s :: !ds) nd.Dfg.prev_store;
           Array.of_list (List.rev !ds))
         nodes
+    in
+    (* Cycle attribution (the `mesa profile` collector): pure observation —
+       charging never feeds back into any timing computation, so a profiled
+       run is bit-identical to an unprofiled one. *)
+    let prof = Option.is_some attribution in
+    let lane_of =
+      match attribution with
+      | None -> [||]
+      | Some a ->
+        Array.init n (fun i ->
+            match Placement.loc_of pl i with
+            | Placement.Pe c -> Attribution.pe_lane a c
+            | Placement.Ls e -> Attribution.ls_lane a e)
     in
     let live_out_x = Array.of_list dfg.Dfg.live_out_x in
     let live_out_f = Array.of_list dfg.Dfg.live_out_f in
@@ -128,7 +141,7 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
     (* Tiled instances occupy disjoint physical regions, so each gets its
        own router slices; slot [inst * nslices + slice] serves (instance,
        slice). Slices are claimed lazily — most stay unused. *)
-    let nslices = ((grid.Grid.rows * grid.Grid.cols) - 1) / grid.Grid.slice_width + 1 in
+    let nslices = Interconnect.slices grid in
     let noc : Contention.t option array = Array.make (tiling * nslices) None in
     let noc_slot inst slice =
       let idx = (inst * nslices) + slice in
@@ -188,12 +201,15 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
       Stats.observe h lat
     in
     (* One data/control transfer from node [i] to node [j], with NoC
-       contention applied at the producer's router slice. *)
+       contention applied at the producer's router slice. [last_noc_queue]
+       lets the profiler split arrival gaps into NoC vs dependence wait. *)
+    let last_noc_queue = ref 0.0 in
     let transfer_in inst iter_start i j =
       let base = float_of_int (Placement.transfer pl i j) in
       match Placement.route pl i j with
       | Interconnect.Local ->
         act.Activity.local_transfers <- act.Activity.local_transfers + 1;
+        last_noc_queue := 0.0;
         record_edge i j base;
         base
       | Interconnect.Noc ->
@@ -202,13 +218,19 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
         let inject = Contention.claim (noc_slot inst slice) abs_out in
         act.Activity.noc_transfers <- act.Activity.noc_transfers + 1;
         Stats.observe noc_queue (inject -. abs_out);
+        last_noc_queue := inject -. abs_out;
         let lat = base +. (inject -. abs_out) in
         record_edge i j lat;
         lat
     in
-    (* Claim a memory port: returns queuing delay given absolute readiness. *)
+    (* Claim a memory port: returns queuing delay given absolute readiness.
+       [last_port_slot] records which sub-slot of the issue cycle was taken
+       — the profiler's deterministic port-lane index. *)
+    let last_port_slot = ref 0 in
     let claim_port abs_ready =
-      let delay = Contention.claim ports abs_ready -. abs_ready in
+      let issue, slot = Contention.claim_slot ports abs_ready in
+      let delay = issue -. abs_ready in
+      last_port_slot := slot;
       Stats.observe port_queue delay;
       delay
     in
@@ -265,10 +287,16 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
           let disabled =
             Array.exists (fun (b, dis) -> (vx.(b) <> 0) = dis) guards_of.(j)
           in
-          (* Arrival of inputs (Equation 2, with contention). *)
+          (* Arrival of inputs (Equation 2, with contention). [arr_nonoc]
+             shadows the arrival fold with NoC queueing deducted; the
+             difference is the profiler's NoC-stall share of the gap. *)
           let arrival = ref 0.0 in
+          let arr_nonoc = ref 0.0 in
           let dep i =
-            arrival := Float.max !arrival (completes.(i) +. transfer_in inst iter_start i j)
+            let lat = transfer_in inst iter_start i j in
+            arrival := Float.max !arrival (completes.(i) +. lat);
+            if prof then
+              arr_nonoc := Float.max !arr_nonoc (completes.(i) +. lat -. !last_noc_queue)
           in
           let deps = deps_of.(j) in
           for d = 0 to Array.length deps - 1 do
@@ -276,6 +304,7 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
           done;
           (* Functional execution + operation latency. *)
           let oplat = ref 1.0 in
+          let pq = ref 0.0 in
           if disabled then begin
             act.Activity.disabled_ops <- act.Activity.disabled_ops + 1;
             (match (Isa.writes_int nd.Dfg.instr, nd.Dfg.hidden) with
@@ -317,7 +346,14 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
                   else queue +. float_of_int cache
                 in
                 Stats.observe amat.(j) lat;
-                oplat := lat
+                oplat := lat;
+                pq := queue;
+                match attribution with
+                | Some a ->
+                  Attribution.note_port_access a ~port:!last_port_slot
+                    ~issue:(iter_start +. !arrival +. queue)
+                    ~service:(lat -. queue)
+                | None -> ()
               end
             in
             match nd.Dfg.instr with
@@ -409,6 +445,15 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
           | Isa.C_div | Isa.C_fdiv -> fu_bound := Float.max !fu_bound !oplat
           | _ -> ());
           completes.(j) <- !arrival +. !oplat;
+          (match attribution with
+          | Some a ->
+            Attribution.charge_op a ~lane:lane_of.(j)
+              ~start:(iter_start +. !arrival)
+              ~noc_wait:(!arrival -. !arr_nonoc)
+              ~port_wait:!pq
+              ~service:(!oplat -. !pq)
+              ~long_op:(match cls with Isa.C_div | Isa.C_fdiv -> true | _ -> false)
+          | None -> ());
           (* Fault application: the latch corrupts after the node fires, so
              same-iteration consumers already see the bad value. *)
           (match (fault, pe_coord.(j)) with
@@ -455,10 +500,21 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
            in
            let ii = Float.max (Float.max ii_rec ii_mem) !fu_bound in
            Stats.observe ii_achieved ii;
+           (match attribution with
+           | Some a ->
+             Attribution.observe_ii a ~rec_:ii_rec ~mem:ii_mem ~fu:!fu_bound
+               ~achieved:ii
+           | None -> ());
            inst_next.(inst) <- iter_start +. ii
          end
          else begin
            Stats.observe ii_achieved (iter_latency +. 1.0);
+           (match attribution with
+           | Some a ->
+             (* Non-pipelined: the full iteration latency is the recurrence. *)
+             Attribution.observe_ii a ~rec_:(iter_latency +. 1.0) ~mem:0.0
+               ~fu:0.0 ~achieved:(iter_latency +. 1.0)
+           | None -> ());
            inst_next.(inst) <- iter_start +. iter_latency +. 1.0
          end);
         if not continue_loop then exit_reached := true
@@ -490,6 +546,24 @@ let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window =
       Array.iter (fun (r, src) -> Machine.set_f machine r (val_f src)) live_out_f;
       machine.Machine.pc <- (if !paused then dfg.Dfg.entry_addr else dfg.Dfg.exit_addr);
       act.Activity.cycles <- int_of_float (Float.ceil !end_time);
+      (* Window-end profiler readouts: per-slice NoC contention (tiled
+         instances fold onto their physical slice), shared-port totals, and
+         the closing charge of every lane's uncovered tail. *)
+      (match attribution with
+      | Some a ->
+        Array.iteri
+          (fun idx c ->
+            match c with
+            | Some c ->
+              Attribution.note_noc_slice a ~slice:(idx mod nslices)
+                ~claims:(Contention.claimed c) ~busy:(Contention.busy_cycles c)
+            | None -> ())
+          noc;
+        Attribution.note_port_totals a ~claims:(Contention.claimed ports)
+          ~busy:(Contention.busy_cycles ports);
+        Attribution.end_window a ~grid ~cycles:act.Activity.cycles
+          ~iterations:!iterations
+      | None -> ());
       let detection =
         match fault with
         | Some f when Fault.window_corrupted f ->

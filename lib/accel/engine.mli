@@ -62,6 +62,7 @@ val execute :
   ?stop_after:int ->
   ?fault:Fault.t ->
   ?watchdog_window:int ->
+  ?attribution:Attribution.t ->
   config:Accel_config.t ->
   dfg:Dfg.t ->
   machine:Machine.t ->
@@ -82,6 +83,15 @@ val execute :
     inspect the counters, possibly reconfigure, and re-invoke [execute] to
     resume (or hand the loop back to the CPU). This models MESA's profiling
     windows for iterative optimization.
+
+    [attribution] attaches a cycle-attribution collector (the `mesa profile`
+    backend): every node firing, II decision and window-end contention
+    readout is charged into its per-lane stall taxonomy. Attribution is pure
+    observation — a profiled run's timing, memory and register effects are
+    bit-identical to an unprofiled one. Callers bracket each execution with
+    {!Attribution.begin_window} (the engine closes the window itself via
+    [Attribution.end_window]) and discard faulted windows with
+    {!Attribution.abort_window}.
 
     [fault] attaches a fault injector: due events fire as the loop iterates,
     corrupting node output latches (transient flips, permanent stuck-ats)

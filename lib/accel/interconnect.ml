@@ -24,4 +24,7 @@ let latency (grid : Grid.t) kind (a : Grid.coord) (b : Grid.coord) =
 let noc_slice (grid : Grid.t) (c : Grid.coord) =
   (c.row * grid.cols + c.col) / grid.slice_width
 
+let slices (grid : Grid.t) =
+  ((grid.rows * grid.cols) - 1) / grid.slice_width + 1
+
 let ls_coord (grid : Grid.t) e = Grid.coord (Grid.ls_row grid e) (-1)

@@ -29,6 +29,11 @@ val noc_slice : Grid.t -> Grid.coord -> int
 (** Index of the NoC router slice serving a PE; concurrent NoC transfers
     injected at the same slice serialize. *)
 
+val slices : Grid.t -> int
+(** Number of router slices in the grid ([noc_slice] ranges over
+    [0 .. slices - 1]) — sizes the engine's contention tables and the
+    profiler's per-link counters. *)
+
 val ls_coord : Grid.t -> int -> Grid.coord
 (** Virtual coordinate of a load-store entry (column -1 of its row), used
     to compute PE <-> LS-entry distances. *)

@@ -14,11 +14,12 @@ type options = {
   watchdog_window : int;
   max_fault_retries : int;
   inject : Fault.spec option;
+  profile : bool;
   tune : Accel_config.t -> Accel_config.t;
 }
 
 let default_options ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true)
-    ?inject () =
+    ?inject ?(profile = false) () =
   let capacity = min 512 (Grid.pe_count grid + grid.Grid.ls_entries) in
   {
     grid;
@@ -36,6 +37,7 @@ let default_options ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true)
     watchdog_window = 512;
     max_fault_retries = 3;
     inject;
+    profile;
     tune = Fun.id;
   }
 
@@ -56,6 +58,8 @@ type region_report = {
   fault_retries : int;
   fault_remaps : int;
   quarantines : int;
+  critical_path : int list;
+  critical_path_latency : float;
 }
 
 type report = {
@@ -72,6 +76,7 @@ type report = {
   hier : Hierarchy.t;
   stats : Stats.snapshot;
   timeline : Trace.span list;
+  attribution : Attribution.t option;
 }
 
 let src = Logs.Src.create "mesa.controller" ~doc:"MESA controller"
@@ -194,6 +199,19 @@ let run ?options ?hier ?stats prog machine =
   Stats.int_probe ctl "cpu_cycles" cpu_cycles_now;
   Stats.int_probe ctl "total_cycles" (fun () ->
       cpu_cycles_now () + Stats.get accel_cycles + Stats.get overhead);
+  (* Cycle attribution (`mesa profile`): the collector is pure observation —
+     the engine's timing, the optimizer's decisions and the architectural
+     state are bit-identical with profiling on or off. Measured weights for
+     the profiler's critical-path extraction are absorbed into dedicated
+     per-region models so the iterative optimizer's model is never touched
+     on the profiling path. *)
+  let att =
+    if opts.profile then Some (Attribution.create ~grid:opts.grid ()) else None
+  in
+  let profile_models : (int, Perf_model.t) Hashtbl.t = Hashtbl.create 8 in
+  let charge_att cycles =
+    match att with Some a -> Attribution.charge_config a cycles | None -> ()
+  in
   let regions_grp = Stats.group reg "regions" in
   let timeline : Trace.span list ref = ref [] in
   let wall_now () = cpu_cycles_now () + Stats.get accel_cycles + Stats.get overhead in
@@ -227,6 +245,8 @@ let run ?options ?hier ?stats prog machine =
   let run_offload (c : Config_manager.cached) =
     Log.debug (fun m -> m "offloading %a" Region.pp c.Config_manager.region);
     Stats.add overhead (2 * opts.offload_overhead);
+    (* Architectural state transfer both ways: configuration overhead. *)
+    charge_att (2 * opts.offload_overhead);
     Stats.incr offloads;
     c.Config_manager.offloads <- c.Config_manager.offloads + 1;
     let entry = c.Config_manager.region.Region.entry in
@@ -236,6 +256,9 @@ let run ?options ?hier ?stats prog machine =
     while !running do
       let stop_after = if !budget > 0 then Some opts.profile_chunk else None in
       let window_start = wall_now () in
+      (match att with
+      | Some a -> Attribution.begin_window a ~at:(float_of_int window_start)
+      | None -> ());
       (* Iteration-boundary checkpoint: the PC sits at the loop entry here
          (both at offload start and after a profiling pause), so restoring
          it hands the loop back to the CPU — or to a retried window — in a
@@ -283,8 +306,15 @@ let run ?options ?hier ?stats prog machine =
         Stats.observe f_latency (float_of_int latency);
         c.Config_manager.faults_detected <- c.Config_manager.faults_detected + 1;
         (* The discarded window and the state transfer back are recovery
-           overhead, not useful accelerator work. *)
+           overhead, not useful accelerator work. The profiler discards the
+           window's attribution and re-charges the same cycles as Config, so
+           closure against the run's wall-clock accounting is preserved. *)
         Stats.add overhead (wasted + opts.offload_overhead);
+        (match att with
+        | Some a ->
+          Attribution.abort_window a;
+          Attribution.charge_config a (wasted + opts.offload_overhead)
+        | None -> ());
         emit
           (Trace.span ~cat:"fault" ~ts:window_start ~dur:(max 1 wasted)
              ~args:
@@ -325,6 +355,7 @@ let run ?options ?hier ?stats prog machine =
               Stats.incr f_remapped;
               Stats.add overhead stall;
               Stats.add mesa_busy stall;
+              charge_att stall;
               consecutive_faults := 0;
               emit
                 (Trace.span ~cat:"fault" ~ts:(wall_now ()) ~dur:stall
@@ -363,6 +394,7 @@ let run ?options ?hier ?stats prog machine =
             (Engine.execute ?stop_after
                ~max_iterations:opts.engine_max_iterations
                ~watchdog_window:opts.watchdog_window ?fault:injector
+               ?attribution:att
                ~config:c.Config_manager.config ~dfg:c.Config_manager.dfg
                ~machine ~hier ())
         with exn -> (
@@ -390,6 +422,21 @@ let run ?options ?hier ?stats prog machine =
         c.Config_manager.accel_iterations <-
           c.Config_manager.accel_iterations + res.Engine.iterations;
         c.Config_manager.accel_cycles <- c.Config_manager.accel_cycles + res.Engine.cycles;
+        (match att with
+        | Some _ ->
+          (* Absorb this window's counters into the profiler's own model so
+             critical-path extraction sees measured weights even when the
+             iterative optimizer is off (or out of budget). *)
+          let pm =
+            match Hashtbl.find_opt profile_models entry with
+            | Some pm -> pm
+            | None ->
+              let pm = Perf_model.create c.Config_manager.dfg in
+              Hashtbl.add profile_models entry pm;
+              pm
+          in
+          Optimizer.absorb pm res
+        | None -> ());
         emit
           (Trace.span ~cat:"fabric" ~ts:window_start ~dur:res.Engine.cycles
              ~args:
@@ -446,7 +493,8 @@ let run ?options ?hier ?stats prog machine =
                      ]
                    ("reconfigure " ^ rname entry));
               Stats.add overhead stall;
-              Stats.add mesa_busy stall
+              Stats.add mesa_busy stall;
+              charge_att stall
             end
             else budget := 0
           | Optimizer.Keep _ -> budget := 0
@@ -562,6 +610,8 @@ let run ?options ?hier ?stats prog machine =
                 fault_retries = 0;
                 fault_remaps = 0;
                 quarantines = 0;
+                critical_path = [];
+                critical_path_latency = 0.0;
               }
               :: !rejected)
         | Some (Loop_detector.Rejected { entry; reason }) ->
@@ -589,6 +639,8 @@ let run ?options ?hier ?stats prog machine =
               fault_retries = 0;
               fault_remaps = 0;
               quarantines = 0;
+              critical_path = [];
+              critical_path_latency = 0.0;
             }
             :: !rejected
         | None -> ())
@@ -598,6 +650,16 @@ let run ?options ?hier ?stats prog machine =
   let accepted_reports =
     List.map
       (fun (c : Config_manager.cached) ->
+        (* Critical path over measured weights when the profiler ran (its
+           side models absorb every clean window); the optimizer's model —
+           measured under iterative mode, static otherwise — when not. *)
+        let cp_model =
+          match
+            Hashtbl.find_opt profile_models c.Config_manager.region.Region.entry
+          with
+          | Some pm -> pm
+          | None -> c.Config_manager.model
+        in
         {
           entry = c.Config_manager.region.Region.entry;
           size = Region.size c.Config_manager.region;
@@ -615,6 +677,8 @@ let run ?options ?hier ?stats prog machine =
           fault_retries = c.Config_manager.fault_retries;
           fault_remaps = c.Config_manager.fault_remaps;
           quarantines = c.Config_manager.quarantines;
+          critical_path = Perf_model.critical_path cp_model;
+          critical_path_latency = Perf_model.iteration_latency cp_model;
         })
       (Config_manager.entries cache)
   in
@@ -632,6 +696,7 @@ let run ?options ?hier ?stats prog machine =
     hier;
     stats = Stats.snapshot reg;
     timeline = List.rev !timeline;
+    attribution = att;
   }
 
 let speedup ~baseline_cycles report =

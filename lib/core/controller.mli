@@ -41,6 +41,11 @@ type options = {
       (** fault schedule to arm for this run; [None] (the default) keeps
           every fault path cold and timing bit-identical to a build without
           the subsystem *)
+  profile : bool;
+      (** arm the cycle-attribution collector ({!Attribution.t}): every
+          fabric cycle is charged to a stall-taxonomy bucket and the report
+          carries the collector. Pure observation — cycles, memory and
+          registers stay bit-identical to an unprofiled run *)
   tune : Accel_config.t -> Accel_config.t;
       (** hook applied to every freshly translated configuration — the
           ablation studies use it to strip individual optimizations *)
@@ -48,8 +53,9 @@ type options = {
 
 val default_options :
   ?grid:Grid.t -> ?optimize:bool -> ?iterative:bool -> ?inject:Fault.spec ->
-  unit -> options
-(** M-128, mesh+NoC interconnect, optimizations and iterative mode on. *)
+  ?profile:bool -> unit -> options
+(** M-128, mesh+NoC interconnect, optimizations and iterative mode on;
+    profiling off. *)
 
 (** Per-region outcome, for the evaluation tables. *)
 type region_report = {
@@ -71,6 +77,13 @@ type region_report = {
   fault_retries : int;
   fault_remaps : int;
   quarantines : int;
+  critical_path : int list;
+      (** node indices of the longest weighted dependence chain through the
+          region's SDFG — measured weights when profiling or iterative mode
+          supplied counter readouts, static estimates otherwise; [[]] for
+          rejected regions *)
+  critical_path_latency : float;
+      (** modeled latency of one iteration along that path (Eq. 2) *)
 }
 
 type report = {
@@ -95,6 +108,10 @@ type report = {
   timeline : Trace.span list;
       (** offload / translate / reconfigure / reject events on the
           wall-clock axis, ready for {!Trace.to_chrome_json} *)
+  attribution : Attribution.t option;
+      (** the cycle-attribution collector when [options.profile] was set:
+          for every lane, bucket sums close exactly against
+          [accel_cycles + overhead_cycles] *)
 }
 
 val run :

@@ -28,12 +28,15 @@ val mesa :
   ?iterative:bool ->
   ?mem_ports:int ->
   ?inject:Fault.spec ->
+  ?profile:bool ->
   Kernel.t ->
   measurement * Controller.report
 (** Full MESA run (CPU + transparent offload). [mem_ports] overrides the
     accelerator's cache ports (Figure 15's ideal-memory variant); [inject]
     arms a fault schedule for the run (the output check still validates
-    bit-exact results after recovery). *)
+    bit-exact results after recovery); [profile] arms the cycle-attribution
+    collector, returned in [report.attribution] (timing stays
+    bit-identical — see {!Profile.of_report}). *)
 
 val dfg_of_kernel : Kernel.t -> Dfg.t
 (** The kernel's hot-loop LDFG, for the analytic baselines (OpenCGRA /

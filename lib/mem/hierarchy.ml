@@ -54,6 +54,15 @@ let reset_stats t =
   Cache.reset_stats t.l1;
   Cache.reset_stats t.l2
 
+let level_counts t =
+  [
+    ("l1_hits", Cache.hits t.l1);
+    ("l1_misses", Cache.misses t.l1);
+    ("l2_hits", Cache.hits t.l2);
+    ("l2_misses", Cache.misses t.l2);
+    ("writebacks", Cache.writebacks t.l1 + Cache.writebacks t.l2);
+  ]
+
 let register_stats t grp =
   Cache.register_stats t.l1 (Stats.subgroup grp "l1");
   Cache.register_stats t.l2 (Stats.subgroup grp "l2");

@@ -52,6 +52,11 @@ val l2 : t -> Cache.t
 val reset_stats : t -> unit
 val invalidate_all : t -> unit
 
+val level_counts : t -> (string * int) list
+(** Direct readout of the per-level access mix
+    ([l1_hits]/[l1_misses]/[l2_hits]/[l2_misses]/[writebacks]) — the
+    profiler's memory-side summary, available without a stats snapshot. *)
+
 val register_stats : t -> Stats.group -> unit
 (** Register [l1] and [l2] subgroups (per-level hit/miss/writeback probes)
     plus the hierarchy's fixed parameters under [grp]. *)

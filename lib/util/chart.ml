@@ -32,6 +32,36 @@ let bars ?(width = 50) ?baseline ~title series =
 
 let glyphs = [| '#'; '='; '-'; '+'; '*' |]
 
+(* Cold-to-hot ramp for [heat]. *)
+let ramp = [| '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@'; 'X' |]
+
+let heat ?(legend = true) ~title ~rows ~cols f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let vmax = ref 0.0 in
+  let cells = Array.init rows (fun r -> Array.init cols (fun c -> f r c)) in
+  Array.iter (Array.iter (fun v -> vmax := Float.max !vmax v)) cells;
+  let glyph v =
+    if !vmax <= 0.0 || v <= 0.0 then ramp.(0)
+    else
+      let i = int_of_float (v /. !vmax *. float_of_int (Array.length ramp)) in
+      ramp.(min (Array.length ramp - 1) (max 0 i))
+  in
+  for r = 0 to rows - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %3d " r);
+    for c = 0 to cols - 1 do
+      Buffer.add_char buf (glyph cells.(r).(c))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  if legend then begin
+    Buffer.add_string buf "      ";
+    Array.iter (Buffer.add_char buf) ramp;
+    Buffer.add_string buf (Printf.sprintf "  (max %.2f)\n" !vmax)
+  end;
+  Buffer.contents buf
+
 let grouped ?(width = 50) ~title ~series_names rows =
   let buf = Buffer.create 256 in
   Buffer.add_string buf title;

@@ -17,3 +17,13 @@ val grouped :
   string
 (** Multi-series variant: each row carries one bar per series, tagged with
     the series' index glyph. Used for figures comparing M-128 vs M-512. *)
+
+val heat :
+  ?legend:bool -> title:string -> rows:int -> cols:int -> (int -> int -> float) ->
+  string
+(** [heat ~title ~rows ~cols f] renders an ASCII heatmap, one glyph per
+    cell, with [f row col] giving each cell's intensity. Intensities are
+    normalized to the maximum (a non-positive maximum renders all-cold);
+    the 10-step ramp runs [. : - = + * # % @ X]. The profiler draws per-PE
+    utilization and per-NoC-link occupancy with this. [legend] (default
+    true) appends the ramp with its value thresholds. *)

@@ -3,25 +3,58 @@ type span = {
   cat : string;
   ts : int;
   dur : int;
+  pid : int;
+  tid : int;
+  meta : string option;
   args : (string * Json.t) list;
 }
 
-let span ?(args = []) ~cat ~ts ~dur name = { name; cat; ts; dur; args }
-let instant ?(args = []) ~cat ~ts name = { name; cat; ts; dur = 0; args }
+let span ?(pid = 0) ?(tid = 0) ?(args = []) ~cat ~ts ~dur name =
+  { name; cat; ts; dur; pid; tid; meta = None; args }
+
+let instant ?(pid = 0) ?(tid = 0) ?(args = []) ~cat ~ts name =
+  { name; cat; ts; dur = 0; pid; tid; meta = None; args }
+
+let process_name ~pid name =
+  {
+    name = "process_name";
+    cat = "__metadata";
+    ts = 0;
+    dur = 0;
+    pid;
+    tid = 0;
+    meta = Some name;
+    args = [ ("name", Json.String name) ];
+  }
+
+let thread_name ~pid ~tid name =
+  {
+    name = "thread_name";
+    cat = "__metadata";
+    ts = 0;
+    dur = 0;
+    pid;
+    tid;
+    meta = Some name;
+    args = [ ("name", Json.String name) ];
+  }
 
 let span_to_json s =
   let common =
     [
       ("name", Json.String s.name);
       ("cat", Json.String s.cat);
-      ("pid", Json.Int 0);
-      ("tid", Json.Int 0);
+      ("pid", Json.Int s.pid);
+      ("tid", Json.Int s.tid);
       ("ts", Json.Int s.ts);
     ]
   in
   let shape =
-    if s.dur > 0 then [ ("ph", Json.String "X"); ("dur", Json.Int s.dur) ]
-    else [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+    match s.meta with
+    | Some _ -> [ ("ph", Json.String "M") ]
+    | None ->
+      if s.dur > 0 then [ ("ph", Json.String "X"); ("dur", Json.Int s.dur) ]
+      else [ ("ph", Json.String "i"); ("s", Json.String "t") ]
   in
   let args = if s.args = [] then [] else [ ("args", Json.Assoc s.args) ] in
   Json.Assoc (common @ shape @ args)

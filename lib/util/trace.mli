@@ -1,19 +1,40 @@
 (** Chrome [trace_event] timeline emission ([chrome://tracing] /
     [ui.perfetto.dev]). The controller records one span per translation,
-    offload window and reconfiguration; timestamps are wall-clock simulated
-    cycles, written to the JSON [ts] field (nominally microseconds — the
-    viewer only cares about relative placement). *)
+    offload window and reconfiguration; the profiler adds one lane per PE
+    and per cache port. Timestamps are wall-clock simulated cycles, written
+    to the JSON [ts] field (nominally microseconds — the viewer only cares
+    about relative placement).
+
+    Lanes: Perfetto groups events by [(pid, tid)]. Controller-level spans
+    keep the default lane (0, 0); the profiler assigns each PE and cache
+    port its own [tid] and labels the lanes with {!process_name} /
+    {!thread_name} metadata events. *)
 
 type span = {
   name : string;
   cat : string;   (** trace category, e.g. "mesa", "fabric" *)
   ts : int;       (** start, in simulated cycles *)
   dur : int;      (** duration in cycles; 0 renders as an instant event *)
+  pid : int;      (** Perfetto process lane (default 0) *)
+  tid : int;      (** Perfetto thread lane within the process (default 0) *)
+  meta : string option;
+      (** [Some name] marks a metadata ([ph = "M"]) record naming a lane *)
   args : (string * Json.t) list;
 }
 
-val span : ?args:(string * Json.t) list -> cat:string -> ts:int -> dur:int -> string -> span
-val instant : ?args:(string * Json.t) list -> cat:string -> ts:int -> string -> span
+val span :
+  ?pid:int -> ?tid:int -> ?args:(string * Json.t) list ->
+  cat:string -> ts:int -> dur:int -> string -> span
+
+val instant :
+  ?pid:int -> ?tid:int -> ?args:(string * Json.t) list ->
+  cat:string -> ts:int -> string -> span
+
+val process_name : pid:int -> string -> span
+(** Metadata event naming a process lane. *)
+
+val thread_name : pid:int -> tid:int -> string -> span
+(** Metadata event naming a thread lane within a process. *)
 
 val to_chrome_json : span list -> Json.t
 (** The [{"traceEvents": [...]}] envelope. *)

@@ -28,4 +28,5 @@ let () =
          Test_cse.suites;
          Test_fault.suites;
          Test_dse.suites;
+         Test_profile.suites;
        ])
