@@ -804,8 +804,116 @@ let dse_cmd =
         (const run $ kernels $ grids $ ports $ kinds $ l1 $ l2 $ jobs
        $ checkpoint $ resume $ budget $ stop_after $ out $ trace_out $ top))
 
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Master seed; the whole campaign is a pure function of it.")
+  in
+  let count =
+    Arg.(
+      value & opt int 500
+      & info [ "count" ] ~docv:"N" ~doc:"Number of (program, fabric) cases.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains; the summary is bit-identical for any value.")
+  in
+  let corpus =
+    Arg.(
+      value & opt string "fuzz-corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory for minimized failing-case JSON files.")
+  in
+  let max_shrink =
+    Arg.(
+      value & opt int 300
+      & info [ "max-shrink" ] ~docv:"N"
+          ~doc:"Re-execution budget for shrinking each failure.")
+  in
+  let defect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "defect" ] ~docv:"KIND"
+          ~doc:
+            "Arm a deliberate lowering bug (store-skew) to mutation-test the \
+             fuzzer: the run must fail and shrink it.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run one corpus entry instead of a campaign.")
+  in
+  let run seed count jobs corpus max_shrink defect replay =
+    let ( let* ) = Result.bind in
+    let* defect =
+      match defect with
+      | None -> Ok None
+      | Some s -> (
+        match Tile_lower.defect_of_string s with
+        | Ok d -> Ok (Some d)
+        | Error e -> Error (`Msg e))
+    in
+    match replay with
+    | Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      let* j = Result.map_error (fun e -> `Msg e) (Json.of_string text) in
+      (match Fuzz.replay ?defect j with
+      | Ok o ->
+        Printf.printf "replay ok: %d cycles, %d offload(s), checksum %d\n"
+          o.Fuzz.cycles o.Fuzz.offloads o.Fuzz.mem_checksum;
+        Ok ()
+      | Error e ->
+        Printf.printf "replay still fails: %s\n" e;
+        exit 1)
+    | None ->
+      let s = Fuzz.run ?jobs ?defect ~max_shrink ~seed ~count () in
+      Printf.printf
+        "fuzz: seed %d, %d case(s), %d offloaded, %d offload(s) total, digest %016x\n"
+        seed s.Fuzz.cases s.Fuzz.offloaded_cases s.Fuzz.total_offloads
+        s.Fuzz.digest;
+      if s.Fuzz.failures = [] then begin
+        Printf.printf "no differential mismatches\n";
+        Ok ()
+      end
+      else begin
+        List.iter
+          (fun (f : Fuzz.failure) ->
+            let path = Fuzz.write_corpus ~dir:corpus ~master_seed:seed f in
+            Printf.printf
+              "FAIL case %d (kernel seed %d, %s): %s\n  shrunk to %d statement(s) in %d step(s): %s\n  corpus: %s\n"
+              f.Fuzz.index f.Fuzz.kernel_seed
+              (Fuzz.fabric_to_string f.Fuzz.fabric)
+              f.Fuzz.detail
+              (Tile_dsl.stmt_count f.Fuzz.shrunk)
+              f.Fuzz.shrink_steps f.Fuzz.shrunk_detail path)
+          s.Fuzz.failures;
+        Printf.printf "%d failing case(s)\n" (List.length s.Fuzz.failures);
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the whole pipeline: random tile-DSL programs × \
+          random fabrics, interpreter vs accelerator vs DSL reference, with \
+          automatic shrinking of failures to a minimal corpus")
+    Term.(
+      term_result
+        (const run $ seed $ count $ jobs $ corpus $ max_shrink $ defect $ replay))
+
 let () =
   let doc = "MESA: microarchitecture extensions for spatial architecture generation" in
   let info = Cmd.info "mesa_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; profile_cmd; profile_diff_cmd; stats_diff_cmd; bench_cmd; dse_cmd ]))
+       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; profile_cmd; profile_diff_cmd; stats_diff_cmd; bench_cmd; dse_cmd; fuzz_cmd ]))

@@ -1,0 +1,17 @@
+(** Seeded random programs over {!Tile_dsl}, plus the shrinker.
+
+    [generate ~seed] is a pure function of the seed (splitmix, {!Prng}):
+    equal seeds give structurally equal specs on any machine, which is what
+    makes fuzzing runs replayable. Generated programs always pass
+    {!Tile_dsl.validate}, bias toward detectable loops (innermost trip
+    count at least 10, compute-heavy bodies) and cover the DSL's surface:
+    int / FP / mixed arithmetic, depth-1..4 nests, tiling, reductions and
+    guards. *)
+
+val generate : seed:int -> Tile_dsl.spec
+
+val shrink_candidates : Tile_dsl.spec -> Tile_dsl.spec list
+(** One-step reductions of a failing spec, in a fixed order: drop a
+    statement, inline a guard's body, undo a tiling split, halve a trip
+    count. Every candidate is strictly simpler and still valid; the caller
+    keeps any candidate that reproduces its failure and iterates. *)

@@ -1,0 +1,52 @@
+(* A three-tap stencil convolution written in the tile DSL: each output row
+   convolves the matching input row (with a one-column halo on each side)
+   against [0.25 0.5 0.25], taps unrolled into one expression tree. The
+   innermost column loop passes {!Tile_dsl.innermost_parallel} and so
+   carries the OpenMP pragma MESA's tiling keys on — the DSL-built
+   counterpart to the reduction-shaped tiled_gemm kernels, small enough to
+   map onto M-64. *)
+
+open Tile_dsl
+
+let rows = 6
+let cols = 64
+let iw = cols + 2 (* input row stride: one halo column on each side *)
+
+(* Powers-of-two taps are exactly representable, so the Fconst validation
+   and the bit-exact reference hold trivially. *)
+let taps = [| 0.25; 0.5; 0.25 |]
+
+let spec () =
+  let term dc =
+    Fbin
+      ( Fmul,
+        Fconst taps.(dc),
+        Fload ("x", idx ~const:dc [ ("r", iw); ("c", 1) ]) )
+  in
+  let sum = Fbin (Fadd, Fbin (Fadd, term 0, term 1), term 2) in
+  {
+    sname = "stencil_conv";
+    seed = 0x57e4;
+    arrays =
+      [ array_f "x" (rows * iw); array_f ~input:false "out" (rows * cols) ];
+    body =
+      [
+        for_ "r" rows
+          [ for_ "c" cols [ Fstore ("out", idx [ ("r", cols); ("c", 1) ], sum) ] ];
+      ];
+  }
+
+let make () =
+  let b = Tile_lower.lower_exn (spec ()) in
+  {
+    Kernel.name = "stencil_conv";
+    description = "DSL-built 3-tap f32 stencil, parallel inner loop";
+    parallel = b.Tile_lower.parallel;
+    fp = b.Tile_lower.fp;
+    n = b.Tile_lower.n;
+    program = b.Tile_lower.program;
+    setup = b.Tile_lower.setup;
+    args = b.Tile_lower.args;
+    fargs = b.Tile_lower.fargs;
+    check = b.Tile_lower.check;
+  }

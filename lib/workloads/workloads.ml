@@ -19,7 +19,10 @@ let all () =
     Kernel_particlefilter.make ();
     Kernel_pathfinder.make ();
     Kernel_srad.make ();
+    Kernel_stencil_conv.make ();
     Kernel_streamcluster.make ();
+    Kernel_tiled_gemm.make ~t:2 ();
+    Kernel_tiled_gemm.make ~t:4 ();
   ]
 
 let find name =

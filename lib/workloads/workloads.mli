@@ -1,8 +1,9 @@
 (** Registry of all benchmark kernels used by the evaluation. *)
 
 val all : unit -> Kernel.t list
-(** The full 20-kernel Rodinia suite at default sizes, in alphabetical
-    order. *)
+(** The full kernel suite at default sizes, in alphabetical order: the 20
+    Rodinia kernels plus the three tile-DSL-built ones (stencil_conv and
+    the two tiled_gemm variants). *)
 
 val find : string -> Kernel.t
 (** Lookup by name. Raises [Not_found] on an unknown name. *)

@@ -168,3 +168,41 @@ let build_loop (spec : loop_spec) =
 let loop_spec_print (spec : loop_spec) =
   Printf.sprintf "iterations=%d guard=%b body=[%s]" spec.iterations spec.with_guard
     (String.concat "; " (List.map (fun i -> Format.asprintf "%a" Isa.pp i) spec.body))
+
+(* --------------------------------------------------------------------- *)
+(* Random fabric configurations.
+
+   The axes live in {!Fuzz} (rows/cols/ports/interconnect choices), so the
+   qcheck properties here and the differential fuzzer draw from exactly one
+   generator definition. [max_ports] lets slow consumers (the profiling
+   properties) cap the port axis. *)
+
+type arch_case = {
+  kernel : int;  (** index into [Workloads.all ()] *)
+  rows : int;
+  cols : int;
+  ports : int;
+  kind : Interconnect.kind;
+}
+
+let arch_case ?max_ports () =
+  let open QCheck2.Gen in
+  let ports_axis =
+    Array.to_list Fuzz.ports_choices
+    |> List.filter (fun p ->
+           match max_ports with None -> true | Some m -> p <= m)
+  in
+  let n_kernels = List.length (Workloads.all ()) in
+  0 -- (n_kernels - 1) >>= fun kernel ->
+  oneofl (Array.to_list Fuzz.rows_choices) >>= fun rows ->
+  oneofl (Array.to_list Fuzz.cols_choices) >>= fun cols ->
+  oneofl ports_axis >>= fun ports ->
+  oneofl (Array.to_list Fuzz.kind_choices) >>= fun kind ->
+  return { kernel; rows; cols; ports; kind }
+
+let arch_case_print c =
+  let k = List.nth (Workloads.all ()) c.kernel in
+  Printf.sprintf "%s on %dx%d ports=%d kind=%s" k.Kernel.name c.rows c.cols
+    c.ports (Dse.kind_to_string c.kind)
+
+let arch_case_kernel c = List.nth (Workloads.all ()) c.kernel

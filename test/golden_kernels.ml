@@ -1,9 +1,12 @@
 (* Golden kernel matrix: every workload on the M-64 reference config, pinned
    by cycle count, offload count, the first reject/abandon reason (null when
-   fully accelerated) and an FNV-1a checksum of final memory. The dune rule
-   diffs this program's output against the checked-in golden_kernels.json;
-   any drift in timing, offload policy or architectural results for any of
-   the 20 kernels fails `dune runtest`.
+   fully accelerated) and an FNV-1a checksum of final memory. The suite is
+   the full kernel registry (Rodinia plus the DSL-built kernels) plus three
+   fixed-seed programs from the tile-DSL random generator, so drift in the
+   generator or the lowering pins the matrix too. The dune rule diffs this
+   program's output against the checked-in golden_kernels.json; any drift in
+   timing, offload policy or architectural results for any kernel fails
+   `dune runtest`.
 
    To regenerate after an intentional change:
 
@@ -11,32 +14,56 @@
 
    (or `dune build @runtest --auto-promote`). *)
 
+let generated_seeds = [ 101; 202; 303 ]
+
+let entry_of options name prepare program check =
+  let mem = Main_memory.create () in
+  let machine = prepare mem in
+  let report = Controller.run ~options program machine in
+  (match check mem with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "%s: wrong result: %s" name e));
+  let reject =
+    List.fold_left
+      (fun acc (r : Controller.region_report) ->
+        match acc with Some _ -> acc | None -> r.Controller.reject_reason)
+      None report.Controller.regions
+  in
+  ( name,
+    Json.Assoc
+      [
+        ("cycles", Json.Int report.Controller.total_cycles);
+        ("offloads", Json.Int report.Controller.offloads);
+        ( "reject",
+          match reject with None -> Json.Null | Some r -> Json.String r );
+        ("mem_checksum", Json.Int (Main_memory.checksum mem));
+      ] )
+
 let () =
   let options = Controller.default_options ~grid:Grid.m64 () in
-  let entries =
+  let suite =
     List.map
       (fun (k : Kernel.t) ->
-        let mem = Main_memory.create () in
-        let machine = Kernel.prepare k mem in
-        let report = Controller.run ~options k.Kernel.program machine in
-        (match k.Kernel.check mem with
-        | Ok () -> ()
-        | Error e -> failwith (Printf.sprintf "%s: wrong result: %s" k.Kernel.name e));
-        let reject =
-          List.fold_left
-            (fun acc (r : Controller.region_report) ->
-              match acc with Some _ -> acc | None -> r.Controller.reject_reason)
-            None report.Controller.regions
-        in
-        ( k.Kernel.name,
-          Json.Assoc
-            [
-              ("cycles", Json.Int report.Controller.total_cycles);
-              ("offloads", Json.Int report.Controller.offloads);
-              ( "reject",
-                match reject with None -> Json.Null | Some r -> Json.String r );
-              ("mem_checksum", Json.Int (Main_memory.checksum mem));
-            ] ))
+        entry_of options k.Kernel.name
+          (fun mem -> Kernel.prepare k mem)
+          k.Kernel.program k.Kernel.check)
       (Workloads.all ())
   in
-  print_string (Json.to_string ~indent:2 (Json.Assoc entries))
+  let generated =
+    List.map
+      (fun seed ->
+        let spec = Tile_gen.generate ~seed in
+        let b = Tile_lower.lower_exn spec in
+        entry_of options
+          (Printf.sprintf "generated-%d" seed)
+          (fun mem ->
+            b.Tile_lower.setup mem;
+            let machine =
+              Machine.create ~pc:(Program.entry b.Tile_lower.program) mem
+            in
+            Machine.set_args machine (b.Tile_lower.args ~lo:0 ~hi:b.Tile_lower.n);
+            machine)
+          b.Tile_lower.program b.Tile_lower.check)
+      generated_seeds
+  in
+  print_string (Json.to_string ~indent:2 (Json.Assoc (suite @ generated)))

@@ -29,4 +29,5 @@ let () =
          Test_fault.suites;
          Test_dse.suites;
          Test_profile.suites;
+         Test_gen.suites;
        ])

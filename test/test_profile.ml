@@ -94,21 +94,10 @@ let reference_cycles_with_profiling () =
 (* ------------------------------------------------------------------ *)
 (* Randomized properties. *)
 
-let gen_arch_case =
-  let open QCheck2.Gen in
-  let n_kernels = List.length (Workloads.all ()) in
-  0 -- (n_kernels - 1) >>= fun ki ->
-  oneofl [ 4; 6; 8; 16 ] >>= fun rows ->
-  oneofl [ 4; 8 ] >>= fun cols ->
-  oneofl [ 1; 2; 4; 8 ] >>= fun ports ->
-  oneofl
-    [ Interconnect.Mesh_noc; Interconnect.Hierarchical_rows; Interconnect.Pure_mesh ]
-  >>= fun kind -> return (ki, rows, cols, ports, kind)
-
-let print_arch_case (ki, rows, cols, ports, kind) =
-  let k = List.nth (Workloads.all ()) ki in
-  Printf.sprintf "%s on %dx%d ports=%d kind=%s" k.Kernel.name rows cols ports
-    (Dse.kind_to_string kind)
+(* The shared draw, with the port axis capped: profiling every port width
+   is slow and adds nothing to the closure property. *)
+let gen_arch_case = Gen.arch_case ~max_ports:8 ()
+let print_arch_case = Gen.arch_case_print
 
 let profile_json (k : Kernel.t) ~grid ~kind =
   let report, _, _ = run_controller ~profile:true k ~grid ~kind in
@@ -120,19 +109,20 @@ let profile_json (k : Kernel.t) ~grid ~kind =
 let profiles_are_deterministic =
   QCheck2.Test.make ~name:"random configs: profiles are bit-identical across runs"
     ~count:6 ~print:print_arch_case gen_arch_case
-    (fun (ki, rows, cols, ports, kind) ->
-      let k = List.nth (Workloads.all ()) ki in
-      let grid = Grid.make ~rows ~cols ~mem_ports:ports () in
+    (fun (c : Gen.arch_case) ->
+      let k = Gen.arch_case_kernel c in
+      let grid = Grid.make ~rows:c.Gen.rows ~cols:c.Gen.cols ~mem_ports:c.Gen.ports () in
+      let kind = c.Gen.kind in
       String.equal (profile_json k ~grid ~kind) (profile_json k ~grid ~kind))
 
 (* Every lane's bucket sum closes against the run's fabric accounting. *)
 let profiles_close =
   QCheck2.Test.make ~name:"random configs: attribution closes on every lane"
     ~count:8 ~print:print_arch_case gen_arch_case
-    (fun (ki, rows, cols, ports, kind) ->
-      let k = List.nth (Workloads.all ()) ki in
-      let grid = Grid.make ~rows ~cols ~mem_ports:ports () in
-      let report, _, _ = run_controller ~profile:true k ~grid ~kind in
+    (fun (c : Gen.arch_case) ->
+      let k = Gen.arch_case_kernel c in
+      let grid = Grid.make ~rows:c.Gen.rows ~cols:c.Gen.cols ~mem_ports:c.Gen.ports () in
+      let report, _, _ = run_controller ~profile:true k ~grid ~kind:c.Gen.kind in
       match Profile.of_report ~kernel:k.Kernel.name report with
       | Error e -> Alcotest.failf "profile: %s" e
       | Ok p ->
@@ -145,9 +135,10 @@ let profiling_bit_identical =
   QCheck2.Test.make
     ~name:"random configs: profiling on/off is bit-identical" ~count:6
     ~print:print_arch_case gen_arch_case
-    (fun (ki, rows, cols, ports, kind) ->
-      let k = List.nth (Workloads.all ()) ki in
-      let grid = Grid.make ~rows ~cols ~mem_ports:ports () in
+    (fun (c : Gen.arch_case) ->
+      let k = Gen.arch_case_kernel c in
+      let grid = Grid.make ~rows:c.Gen.rows ~cols:c.Gen.cols ~mem_ports:c.Gen.ports () in
+      let kind = c.Gen.kind in
       let off, m_off, mem_off = run_controller ~profile:false k ~grid ~kind in
       let on, m_on, mem_on = run_controller ~profile:true k ~grid ~kind in
       off.Controller.total_cycles = on.Controller.total_cycles

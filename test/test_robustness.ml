@@ -189,33 +189,19 @@ let sibling_loops_both_considered () =
    equal the CPU interpreter's, and the cycle accounting closes. Fault-free
    counterpart of test_fault's random-schedule property. *)
 
-let gen_arch_case =
-  let open QCheck2.Gen in
-  let n_kernels = List.length (Workloads.all ()) in
-  0 -- (n_kernels - 1) >>= fun ki ->
-  oneofl [ 4; 6; 8; 16 ] >>= fun rows ->
-  oneofl [ 4; 8 ] >>= fun cols ->
-  oneofl [ 1; 2; 4; 8; 16 ] >>= fun ports ->
-  oneofl
-    [ Interconnect.Mesh_noc; Interconnect.Hierarchical_rows; Interconnect.Pure_mesh ]
-  >>= fun kind -> return (ki, rows, cols, ports, kind)
-
-let print_arch_case (ki, rows, cols, ports, kind) =
-  let k = List.nth (Workloads.all ()) ki in
-  Printf.sprintf "%s on %dx%d ports=%d kind=%s" k.Kernel.name rows cols ports
-    (Dse.kind_to_string kind)
-
 let accel_matches_interpreter =
   QCheck2.Test.make ~name:"random configs: accelerator matches the interpreter"
-    ~count:12 ~print:print_arch_case gen_arch_case
-    (fun (ki, rows, cols, ports, kind) ->
-      let k = List.nth (Workloads.all ()) ki in
+    ~count:12 ~print:Gen.arch_case_print (Gen.arch_case ())
+    (fun (c : Gen.arch_case) ->
+      let k = Gen.arch_case_kernel c in
       let mem = Main_memory.create () in
       let machine = Kernel.prepare k mem in
       let expected = Machine.copy machine ~mem:(Main_memory.copy mem) () in
       let _ = Interp.run k.Kernel.program expected in
-      let grid = Grid.make ~rows ~cols ~mem_ports:ports () in
-      let options = { (Controller.default_options ~grid ()) with Controller.kind } in
+      let grid = Grid.make ~rows:c.Gen.rows ~cols:c.Gen.cols ~mem_ports:c.Gen.ports () in
+      let options =
+        { (Controller.default_options ~grid ()) with Controller.kind = c.Gen.kind }
+      in
       let report = Controller.run ~options k.Kernel.program machine in
       Main_memory.equal expected.Machine.mem mem
       && Machine.arch_equal expected machine

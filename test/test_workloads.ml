@@ -2,7 +2,7 @@ let check = Alcotest.check
 
 let registry_complete () =
   let names = Workloads.names () in
-  check Alcotest.int "twenty kernels" 20 (List.length names);
+  check Alcotest.int "twenty-three kernels" 23 (List.length names);
   check Alcotest.bool "sorted unique" true (names = List.sort_uniq compare names);
   List.iter
     (fun n -> check Alcotest.string "find by name" n (Workloads.find n).Kernel.name)
