@@ -863,11 +863,32 @@ let fuzz_cmd =
     in
     match replay with
     | Some path ->
-      let ic = open_in path in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      let* j = Result.map_error (fun e -> `Msg e) (Json.of_string text) in
+      (* A missing or malformed corpus file is a usage error: one line on
+         stderr and a non-zero exit, never a backtrace — and never
+         confused with a genuine differential mismatch. *)
+      let* text =
+        match
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | text -> Ok text
+        | exception Sys_error e -> Error (`Msg ("cannot replay: " ^ e))
+      in
+      let* j =
+        Result.map_error
+          (fun e -> `Msg (path ^ ": not a corpus entry: " ^ e))
+          (Json.of_string text)
+      in
+      let* () =
+        match (Json.member "fabric" j, Json.member "shrunk" j, Json.member "spec" j) with
+        | None, _, _ ->
+          Error (`Msg (path ^ ": not a corpus entry: no \"fabric\" field"))
+        | _, None, None ->
+          Error (`Msg (path ^ ": not a corpus entry: no \"shrunk\" or \"spec\" field"))
+        | _ -> Ok ()
+      in
       (match Fuzz.replay ?defect j with
       | Ok o ->
         Printf.printf "replay ok: %d cycles, %d offload(s), checksum %d\n"
@@ -912,8 +933,325 @@ let fuzz_cmd =
       term_result
         (const run $ seed $ count $ jobs $ corpus $ max_shrink $ defect $ replay))
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/mesad.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path of the daemon.")
+
+let serve_cmd =
+  let shards =
+    Arg.(
+      value
+      & opt int Service.default_config.Service.shards
+      & info [ "shards" ] ~docv:"N" ~doc:"Logical fabric instances.")
+  in
+  let shard_pes =
+    Arg.(
+      value
+      & opt int Service.default_config.Service.shard_pes
+      & info [ "shard-pes" ] ~docv:"PES" ~doc:"PEs per shard grid: 64, 128 or 512.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains executing requests.")
+  in
+  let queue_depth =
+    Arg.(
+      value
+      & opt int Service.default_config.Service.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"In-flight requests admitted before shedding with overloaded.")
+  in
+  let max_retries =
+    Arg.(
+      value
+      & opt int Service.default_config.Service.max_retries
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Service-level retry budget after a quarantining run.")
+  in
+  let breaker_threshold =
+    Arg.(
+      value
+      & opt int Breaker.default_config.Breaker.trip_threshold
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:"Consecutive shard faults before its circuit breaker opens.")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value
+      & opt int Breaker.default_config.Breaker.cooldown
+      & info [ "breaker-cooldown" ] ~docv:"N"
+          ~doc:
+            "Admitted requests an open breaker waits before its half-open \
+             probe (doubles on reopen).")
+  in
+  let default_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline when the request carries none.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Service.default_config.Service.seed
+      & info [ "seed" ] ~docv:"S" ~doc:"Master seed for retry-backoff jitter.")
+  in
+  let no_warm =
+    Arg.(
+      value & flag
+      & info [ "no-warm" ]
+          ~doc:"Skip pre-translating the kernel registry at startup.")
+  in
+  let stats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"FILE"
+          ~doc:"Write the final drained stats snapshot as JSON on shutdown.")
+  in
+  let run socket shards shard_pes jobs queue_depth max_retries
+      breaker_threshold breaker_cooldown default_deadline seed no_warm
+      stats_out =
+    let cfg =
+      {
+        Service.default_config with
+        Service.shards;
+        shard_pes;
+        jobs = Option.value jobs ~default:Service.default_config.Service.jobs;
+        queue_depth;
+        max_retries;
+        breaker =
+          {
+            Breaker.default_config with
+            Breaker.trip_threshold = breaker_threshold;
+            cooldown = breaker_cooldown;
+          };
+        seed;
+        default_deadline_ms = default_deadline;
+        warm = not no_warm;
+      }
+    in
+    match Mesad.start ~service_config:cfg ~socket () with
+    | exception Failure e -> Error (`Msg e)
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (`Msg (socket ^ ": " ^ Unix.error_message err))
+    | d ->
+      let stop_requested = Atomic.make false in
+      let request _ = Atomic.set stop_requested true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request);
+      Printf.printf "mesad: serving on %s (%d shard(s) of %d PEs, %d worker(s))\n%!"
+        socket cfg.Service.shards cfg.Service.shard_pes cfg.Service.jobs;
+      while not (Atomic.get stop_requested) do
+        Unix.sleepf 0.05
+      done;
+      Printf.printf "mesad: draining\n%!";
+      let snap = Mesad.stop d in
+      (match stats_out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Json.to_string (Stats.to_json snap));
+        output_char oc '\n';
+        close_out oc);
+      Printf.printf "mesad: drained, %s request(s) served\n%!"
+        (match Stats.find_int snap "service.admitted" with
+        | Some n -> string_of_int n
+        | None -> "?");
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run mesad, the persistent offload daemon: line-delimited JSON over \
+          a unix socket, with admission control, deadlines, seeded retry \
+          backoff and per-shard fabric circuit breakers. SIGTERM drains \
+          gracefully: in-flight requests finish and their responses are \
+          flushed before the socket closes.")
+    Term.(
+      term_result
+        (const run $ socket_arg $ shards $ shard_pes $ jobs $ queue_depth
+       $ max_retries $ breaker_threshold $ breaker_cooldown
+       $ default_deadline $ seed $ no_warm $ stats_out))
+
+let loadgen_cmd =
+  let requests =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to send in total.")
+  in
+  let concurrency =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.concurrency
+      & info [ "concurrency" ] ~docv:"N"
+          ~doc:"Client lanes; one connection and one in-flight request each.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.seed
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Stream seed; the request mix is a pure function of it, and at \
+             concurrency 1 the per-request digest is bit-identical across \
+             runs.")
+  in
+  let kernels =
+    Arg.(
+      value
+      & opt (list string) Loadgen.default_config.Loadgen.kernels
+      & info [ "kernels" ] ~docv:"K1,K2,.."
+          ~doc:"Kernel mix drawn uniformly per request.")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Arm fault schedules on a seeded fraction of requests: \
+             quarantines, breaker trips and recoveries under load.")
+  in
+  let chaos_rate =
+    Arg.(
+      value
+      & opt float Loadgen.default_config.Loadgen.chaos_rate
+      & info [ "chaos-rate" ] ~docv:"R" ~doc:"Fraction of requests carrying a fault.")
+  in
+  let injects =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            "Override the chaos fault-schedule pool (repeatable); default \
+             mixes transient, permanent, link, ports and a quarantining \
+             transient storm.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let no_fallback_rate =
+    Arg.(
+      value
+      & opt float Loadgen.default_config.Loadgen.no_fallback_rate
+      & info [ "no-fallback-rate" ] ~docv:"R"
+          ~doc:"Chaos fraction of requests forbidding CPU fallback.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the result JSON to FILE.")
+  in
+  let require_zero_internal =
+    Arg.(
+      value & flag
+      & info [ "require-zero-internal" ]
+          ~doc:
+            "Exit non-zero unless internal errors, protocol errors and \
+             unanswered in-flight requests are all zero (CI gate).")
+  in
+  let require_recoveries =
+    Arg.(
+      value & flag
+      & info [ "require-recoveries" ]
+          ~doc:
+            "Exit non-zero unless the daemon reports breaker trips and \
+             half-open recloses, proving quarantine and recovery both \
+             happened (CI chaos gate).")
+  in
+  let run socket requests concurrency seed kernels chaos chaos_rate injects
+      deadline_ms no_fallback_rate out require_zero_internal
+      require_recoveries =
+    let cfg =
+      {
+        Loadgen.socket;
+        requests;
+        concurrency;
+        seed;
+        kernels;
+        chaos;
+        chaos_rate;
+        injects =
+          (if injects = [] then Loadgen.default_config.Loadgen.injects
+           else injects);
+        deadline_ms;
+        no_fallback_rate;
+      }
+    in
+    match Loadgen.run cfg with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (`Msg (socket ^ ": " ^ Unix.error_message err))
+    | exception Invalid_argument e -> Error (`Msg e)
+    | r ->
+      let text = Json.to_string (Loadgen.result_to_json r) in
+      print_endline text;
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        output_char oc '\n';
+        close_out oc);
+      let counter p = Option.value ~default:0 (Loadgen.find_service_counter r p) in
+      let internal =
+        Option.value ~default:0 (List.assoc_opt "internal" r.Loadgen.outcomes)
+      in
+      let failures =
+        (if
+           require_zero_internal
+           && (internal > 0
+              || r.Loadgen.protocol_errors > 0
+              || r.Loadgen.closed_unanswered > 0)
+         then
+           [
+             Printf.sprintf
+               "gate: internal=%d protocol_errors=%d closed_unanswered=%d (all must be 0)"
+               internal r.Loadgen.protocol_errors r.Loadgen.closed_unanswered;
+           ]
+         else [])
+        @
+        if
+          require_recoveries
+          && (counter "service.breaker.trips" = 0
+             || counter "service.breaker.recloses" = 0)
+        then
+          [
+            Printf.sprintf
+              "gate: breaker trips=%d recloses=%d (both must be > 0)"
+              (counter "service.breaker.trips")
+              (counter "service.breaker.recloses");
+          ]
+        else []
+      in
+      List.iter prerr_endline failures;
+      if failures = [] then Ok () else exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running mesad with a seeded stream of mixed-kernel offload \
+          requests — optionally with chaos fault injection — and report \
+          latency percentiles, throughput, the error-taxonomy histogram and \
+          a determinism digest as JSON.")
+    Term.(
+      term_result
+        (const run $ socket_arg $ requests $ concurrency $ seed $ kernels
+       $ chaos $ chaos_rate $ injects $ deadline_ms $ no_fallback_rate $ out
+       $ require_zero_internal $ require_recoveries))
+
 let () =
   let doc = "MESA: microarchitecture extensions for spatial architecture generation" in
   let info = Cmd.info "mesa_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; profile_cmd; profile_diff_cmd; stats_diff_cmd; bench_cmd; dse_cmd; fuzz_cmd ]))
+       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; profile_cmd; profile_diff_cmd; stats_diff_cmd; bench_cmd; dse_cmd; fuzz_cmd; serve_cmd; loadgen_cmd ]))

@@ -1,0 +1,93 @@
+(** Load generator for `mesad`: replay a seeded stream of mixed-kernel
+    offload requests against a running daemon and measure how it degrades.
+
+    The request stream is a pure function of [seed] — kernel choice,
+    chaos fault schedules, fallback permission are all drawn per request
+    index from splitmix — so two runs with the same config send the same
+    requests. At [concurrency = 1] the daemon's routing and breaker
+    evolution are also deterministic, and the per-request result
+    {!result.digest} (FNV-1a over everything except latency) is
+    bit-identical across runs — the service-level mirror of the fuzz
+    campaign's digest discipline.
+
+    Chaos mode ([chaos = true]) arms a fault schedule on a seeded
+    fraction of requests: mid-service fabric faults that quarantine
+    shards, trip circuit breakers and exercise reroute / retry /
+    half-open recovery. The measured outcome histogram plus the daemon's
+    own [service] stats group (fetched at the end of the run) let a CI
+    gate assert that faults degrade throughput gracefully — zero
+    [internal] errors, every request resolving to a taxonomy outcome —
+    rather than failing requests. *)
+
+type config = {
+  socket : string;
+  requests : int;
+  concurrency : int;        (** client lanes; one connection each *)
+  seed : int;
+  kernels : string list;    (** mix drawn uniformly per request *)
+  chaos : bool;
+  chaos_rate : float;       (** fraction of requests carrying a fault *)
+  injects : string list;    (** fault schedules drawn from in chaos mode *)
+  deadline_ms : float option;
+  no_fallback_rate : float; (** fraction with [allow_fallback = false] *)
+}
+
+val default_config : config
+(** socket "/tmp/mesad.sock", 200 requests, concurrency 8, seed 1,
+    kernels nn/kmeans/bfs, chaos off at rate 0.25, injects drawn from
+    transient/permanent/link/ports schedules plus a dense transient storm
+    that forces a mid-run quarantine, no deadline, no-fallback rate 0.1
+    (chaos mode only). *)
+
+val request_at : config -> int -> Proto.run_request
+(** The deterministic request for stream index [i] (its [id] is [i]). *)
+
+(** Per-request record kept by the lanes, for the digest and histogram. *)
+type probe_result = {
+  index : int;
+  outcome : string;       (** "ok" | taxonomy kind | "unanswered" *)
+  cycles : int;
+  mem_checksum : int;
+  site : string;          (** "fabric" | "cpu" | "" *)
+  shard : int;
+  rerouted : bool;
+  retries : int;
+  quarantines : int;
+  latency_ms : float;     (** wall-clock; excluded from the digest *)
+}
+
+type result = {
+  sent : int;
+  completed : int;            (** responses received *)
+  closed_unanswered : int;    (** connection closed before a response —
+                                  the request was never admitted (only
+                                  happens across a daemon drain) *)
+  protocol_errors : int;      (** garbage or mismatched responses; 0 *)
+  outcomes : (string * int) list;
+      (** "ok" plus every taxonomy kind, all present (zeros included) *)
+  ok_fabric : int;
+  ok_cpu : int;
+  rerouted : int;
+  retried : int;              (** ok responses that consumed retries *)
+  quarantines_observed : int;
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+  wall_s : float;
+  throughput_rps : float;
+  digest : int;               (** FNV-1a over every probe, latency excluded *)
+  service_stats : Json.t option;
+      (** daemon's counter tree, fetched after the run (None if the
+          daemon was already gone) *)
+}
+
+val run : config -> result
+(** Drive the full stream; blocks until every lane finishes. Raises
+    [Unix.Unix_error] if the initial connections cannot be opened. *)
+
+val result_to_json : result -> Json.t
+
+val find_service_counter : result -> string -> int option
+(** Look up a counter in the fetched daemon stats by dotted path, e.g.
+    ["service.breaker.recloses"]. *)

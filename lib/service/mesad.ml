@@ -1,0 +1,165 @@
+type t = {
+  svc : Service.t;
+  path : string;
+  listen_fd : Unix.file_descr;
+  lock : Mutex.t;
+  idle : Condition.t;          (* active request count dropped *)
+  mutable stopping : bool;
+  mutable active : int;        (* requests between read and flushed write *)
+  mutable conns : Unix.file_descr list;
+  mutable handlers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable final : Stats.snapshot option;
+}
+
+let service t = t.svc
+let socket_path t = t.path
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Best-effort id recovery from a line that failed full decoding, so even
+   a malformed request's error response carries the caller's id. *)
+let salvage_id j =
+  match Json.member "id" j with
+  | Some v -> Option.value (Json.to_int v) ~default:0
+  | None -> 0
+
+let handle_line t line =
+  match Json.of_string line with
+  | Error e ->
+    { Proto.rsp_id = 0;
+      body = Service.bad_request t.svc ("unparseable request: " ^ e) }
+  | Ok j -> (
+    match Proto.request_of_json j with
+    | Error e ->
+      { Proto.rsp_id = salvage_id j;
+        body = Service.bad_request t.svc ("bad request: " ^ e) }
+    | Ok (Proto.Ping id) -> { Proto.rsp_id = id; body = Proto.Pong }
+    | Ok (Proto.Get_stats id) ->
+      { Proto.rsp_id = id;
+        body = Proto.Stats_dump (Stats.to_json (Service.stats t.svc)) }
+    | Ok (Proto.Run r) ->
+      { Proto.rsp_id = r.Proto.id; body = Service.execute t.svc r })
+
+let handler t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec serve () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line ->
+      if String.trim line = "" then serve ()
+      else begin
+        locked t (fun () -> t.active <- t.active + 1);
+        let finish () =
+          locked t (fun () ->
+              t.active <- t.active - 1;
+              Condition.broadcast t.idle)
+        in
+        (match
+           let rsp = handle_line t line in
+           output_string oc (Proto.response_to_line rsp);
+           output_char oc '\n';
+           flush oc
+         with
+        | () -> finish (); serve ()
+        | exception (Sys_error _ | Unix.Unix_error _) ->
+          (* Client went away mid-write; nothing left to serve. *)
+          finish ())
+      end
+  in
+  serve ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  locked t (fun () -> t.conns <- List.filter (fun c -> c <> fd) t.conns)
+
+let accept_loop t =
+  let rec loop () =
+    let stop = locked t (fun () -> t.stopping) in
+    if not stop then begin
+      match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.listen_fd with
+        | exception Unix.Unix_error _ -> loop ()
+        | fd, _ ->
+          let th = Thread.create (fun () -> handler t fd) () in
+          locked t (fun () ->
+              t.conns <- fd :: t.conns;
+              t.handlers <- th :: t.handlers);
+          loop ())
+    end
+  in
+  loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.path with Unix.Unix_error _ | Sys_error _ -> ())
+
+let start ?service_config ~socket () =
+  (match Unix.stat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
+  | _ -> failwith (socket ^ ": exists and is not a socket")
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen listen_fd 64;
+  let svc =
+    match service_config with
+    | None -> Service.create ()
+    | Some c -> Service.create ~config:c ()
+  in
+  let t =
+    {
+      svc;
+      path = socket;
+      listen_fd;
+      lock = Mutex.create ();
+      idle = Condition.create ();
+      stopping = false;
+      active = 0;
+      conns = [];
+      handlers = [];
+      accept_thread = None;
+      final = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop ?(grace_s = 5.0) t =
+  match locked t (fun () -> t.final) with
+  | Some snap -> snap
+  | None ->
+    locked t (fun () -> t.stopping <- true);
+    (* 1. No new admissions: everything arriving from here is shed with a
+       structured overloaded error. *)
+    Service.begin_drain t.svc;
+    (* 2. Finish the in-flight requests — this is the drain guarantee; the
+       responses are written and flushed by their handler threads. *)
+    let snap = Service.drain t.svc in
+    (* 3. Give handlers still answering post-drain traffic (shed responses
+       to clients that keep sending) a bounded window to go idle. *)
+    let deadline = Unix.gettimeofday () +. grace_s in
+    let rec settle () =
+      let busy = locked t (fun () -> t.active > 0) in
+      if busy && Unix.gettimeofday () < deadline then begin
+        Unix.sleepf 0.01;
+        settle ()
+      end
+    in
+    settle ();
+    (* 4. Tear down: wake blocked readers, join everything. *)
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    let conns = locked t (fun () -> t.conns) in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    let handlers = locked t (fun () -> t.handlers) in
+    List.iter Thread.join handlers;
+    Service.shutdown t.svc;
+    locked t (fun () -> t.final <- Some snap);
+    snap

@@ -1,0 +1,269 @@
+type error_kind =
+  | Bad_request
+  | Deadline_exceeded
+  | Overloaded
+  | Fabric_quarantined
+  | Internal
+
+let all_error_kinds =
+  [ Bad_request; Deadline_exceeded; Overloaded; Fabric_quarantined; Internal ]
+
+let error_kind_to_string = function
+  | Bad_request -> "bad_request"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Overloaded -> "overloaded"
+  | Fabric_quarantined -> "fabric_quarantined"
+  | Internal -> "internal"
+
+let error_kind_of_string s =
+  match
+    List.find_opt (fun k -> error_kind_to_string k = s) all_error_kinds
+  with
+  | Some k -> Ok k
+  | None -> Error (Printf.sprintf "unknown error kind %S" s)
+
+type error = { kind : error_kind; message : string }
+
+type run_request = {
+  id : int;
+  kernel : string;
+  deadline_ms : float option;
+  inject : string option;
+  fault_seed : int;
+  allow_fallback : bool;
+}
+
+let run_request ?deadline_ms ?inject ?(fault_seed = 0x5EED)
+    ?(allow_fallback = true) ~id kernel =
+  { id; kernel; deadline_ms; inject; fault_seed; allow_fallback }
+
+type request = Run of run_request | Get_stats of int | Ping of int
+
+type site = Fabric | Cpu
+
+let site_to_string = function Fabric -> "fabric" | Cpu -> "cpu"
+
+let site_of_string = function
+  | "fabric" -> Ok Fabric
+  | "cpu" -> Ok Cpu
+  | s -> Error (Printf.sprintf "unknown execution site %S" s)
+
+type ok_body = {
+  kernel : string;
+  cycles : int;
+  offloads : int;
+  mem_checksum : int;
+  shard : int;
+  site : site;
+  rerouted : bool;
+  retries : int;
+  quarantines : int;
+  faults_detected : int;
+  latency_ms : float;
+}
+
+type body = Ok_run of ok_body | Err of error | Stats_dump of Json.t | Pong
+
+type response = { rsp_id : int; body : body }
+
+(* ---------------- encoding ---------------- *)
+
+let request_to_json = function
+  | Ping id -> Json.Assoc [ ("op", Json.String "ping"); ("id", Json.Int id) ]
+  | Get_stats id ->
+    Json.Assoc [ ("op", Json.String "stats"); ("id", Json.Int id) ]
+  | Run r ->
+    Json.Assoc
+      ([
+         ("op", Json.String "run");
+         ("id", Json.Int r.id);
+         ("kernel", Json.String r.kernel);
+       ]
+      @ (match r.deadline_ms with
+        | None -> []
+        | Some d -> [ ("deadline_ms", Json.Float d) ])
+      @ (match r.inject with
+        | None -> []
+        | Some s -> [ ("inject", Json.String s) ])
+      @ [
+          ("fault_seed", Json.Int r.fault_seed);
+          ("allow_fallback", Json.Bool r.allow_fallback);
+        ])
+
+let ok_body_to_json (b : ok_body) =
+  Json.Assoc
+    [
+      ("kernel", Json.String b.kernel);
+      ("cycles", Json.Int b.cycles);
+      ("offloads", Json.Int b.offloads);
+      ("mem_checksum", Json.Int b.mem_checksum);
+      ("shard", Json.Int b.shard);
+      ("site", Json.String (site_to_string b.site));
+      ("rerouted", Json.Bool b.rerouted);
+      ("retries", Json.Int b.retries);
+      ("quarantines", Json.Int b.quarantines);
+      ("faults_detected", Json.Int b.faults_detected);
+      ("latency_ms", Json.Float b.latency_ms);
+    ]
+
+let response_to_json { rsp_id; body } =
+  let fields =
+    match body with
+    | Ok_run b -> [ ("ok", ok_body_to_json b) ]
+    | Err e ->
+      [
+        ( "error",
+          Json.Assoc
+            [
+              ("kind", Json.String (error_kind_to_string e.kind));
+              ("message", Json.String e.message);
+            ] );
+      ]
+    | Stats_dump j -> [ ("stats", j) ]
+    | Pong -> [ ("pong", Json.Bool true) ]
+  in
+  Json.Assoc (("id", Json.Int rsp_id) :: fields)
+
+(* ---------------- decoding ---------------- *)
+
+let ( let* ) = Result.bind
+
+(* Every accessor ignores fields it does not know: forward compatibility.
+   Missing *required* fields are decode errors. *)
+
+let field_int ?default name j =
+  match Json.member name j with
+  | None -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing field %S" name))
+  | Some v -> (
+    match Json.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %S is not an integer" name))
+
+let field_string name j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+    match Json.to_string_opt v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "field %S is not a string" name))
+
+let field_bool ~default name j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S is not a boolean" name)
+
+let opt_field_float name j =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_float v with
+    | Some f -> Ok (Some f)
+    | None -> Error (Printf.sprintf "field %S is not a number" name))
+
+let opt_field_string name j =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_string_opt v with
+    | Some s -> Ok (Some s)
+    | None -> Error (Printf.sprintf "field %S is not a string" name))
+
+let run_request_of_json j =
+  let* id = field_int "id" j in
+  let* kernel = field_string "kernel" j in
+  let* deadline_ms = opt_field_float "deadline_ms" j in
+  let* () =
+    match deadline_ms with
+    | Some d when not (d > 0.0) ->
+      Error "field \"deadline_ms\" must be positive"
+    | _ -> Ok ()
+  in
+  let* inject = opt_field_string "inject" j in
+  let* fault_seed = field_int ~default:0x5EED "fault_seed" j in
+  let* allow_fallback = field_bool ~default:true "allow_fallback" j in
+  Ok { id; kernel; deadline_ms; inject; fault_seed; allow_fallback }
+
+let request_of_json j =
+  match j with
+  | Json.Assoc _ ->
+    (* A missing op means "run" — the common case stays terse. *)
+    let op =
+      match Json.member "op" j with
+      | None -> Ok "run"
+      | Some v -> (
+        match Json.to_string_opt v with
+        | Some s -> Ok s
+        | None -> Error "field \"op\" is not a string")
+    in
+    let* op = op in
+    (match op with
+    | "run" -> Result.map (fun r -> Run r) (run_request_of_json j)
+    | "stats" -> Result.map (fun id -> Get_stats id) (field_int "id" j)
+    | "ping" -> Result.map (fun id -> Ping id) (field_int "id" j)
+    | other -> Error (Printf.sprintf "unknown op %S" other))
+  | _ -> Error "request is not a JSON object"
+
+let ok_body_of_json j =
+  let* kernel = field_string "kernel" j in
+  let* cycles = field_int "cycles" j in
+  let* offloads = field_int "offloads" j in
+  let* mem_checksum = field_int "mem_checksum" j in
+  let* shard = field_int "shard" j in
+  let* site = Result.bind (field_string "site" j) site_of_string in
+  let* rerouted = field_bool ~default:false "rerouted" j in
+  let* retries = field_int ~default:0 "retries" j in
+  let* quarantines = field_int ~default:0 "quarantines" j in
+  let* faults_detected = field_int ~default:0 "faults_detected" j in
+  let* latency_ms =
+    match Json.member "latency_ms" j with
+    | None -> Ok 0.0
+    | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok f
+      | None -> Error "field \"latency_ms\" is not a number")
+  in
+  Ok
+    {
+      kernel;
+      cycles;
+      offloads;
+      mem_checksum;
+      shard;
+      site;
+      rerouted;
+      retries;
+      quarantines;
+      faults_detected;
+      latency_ms;
+    }
+
+let response_of_json j =
+  match j with
+  | Json.Assoc _ ->
+    let* rsp_id = field_int "id" j in
+    let* body =
+      match
+        ( Json.member "ok" j,
+          Json.member "error" j,
+          Json.member "stats" j,
+          Json.member "pong" j )
+      with
+      | Some b, _, _, _ -> Result.map (fun b -> Ok_run b) (ok_body_of_json b)
+      | None, Some e, _, _ ->
+        let* kind = Result.bind (field_string "kind" e) error_kind_of_string in
+        let* message = field_string "message" e in
+        Ok (Err { kind; message })
+      | None, None, Some s, _ -> Ok (Stats_dump s)
+      | None, None, None, Some _ -> Ok Pong
+      | None, None, None, None ->
+        Error "response has none of ok/error/stats/pong"
+    in
+    Ok { rsp_id; body }
+  | _ -> Error "response is not a JSON object"
+
+let request_to_line r = Json.to_string ~indent:0 (request_to_json r)
+let response_to_line r = Json.to_string ~indent:0 (response_to_json r)

@@ -1,0 +1,483 @@
+type config = {
+  shards : int;
+  shard_pes : int;
+  jobs : int;
+  queue_depth : int;
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  breaker : Breaker.config;
+  seed : int;
+  default_deadline_ms : float option;
+  watchdog_window : int;
+  warm : bool;
+}
+
+let default_config =
+  {
+    shards = 4;
+    shard_pes = 64;
+    jobs = Pool.default_jobs ();
+    queue_depth = 64;
+    max_retries = 2;
+    backoff_base_ms = 1.0;
+    backoff_cap_ms = 20.0;
+    breaker = Breaker.default_config;
+    seed = 0x5EED;
+    default_deadline_ms = None;
+    watchdog_window = 512;
+    warm = true;
+  }
+
+type shard = { sh_id : int; sh_grid : Grid.t; sh_breaker : Breaker.t }
+
+(* Counter handles, created once at registration. *)
+type counters = {
+  admitted : Stats.counter;
+  shed : Stats.counter;
+  ok : Stats.counter;
+  bad_request : Stats.counter;
+  deadline_exceeded : Stats.counter;
+  overloaded : Stats.counter;
+  fabric_quarantined : Stats.counter;
+  internal : Stats.counter;
+  exec_fabric : Stats.counter;
+  exec_cpu_fallback : Stats.counter;
+  exec_rerouted : Stats.counter;
+  exec_retries : Stats.counter;
+  exec_retry_successes : Stats.counter;
+  exec_abandoned : Stats.counter;
+  backoff_ms : Stats.histogram;
+  br_trips : Stats.counter;
+  br_reopens : Stats.counter;
+  br_recloses : Stats.counter;
+  br_probes : Stats.counter;
+  br_faults : Stats.counter;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  shards : shard array;
+  lock : Mutex.t;
+  settled : Condition.t;   (* an in-flight request finished *)
+  mutable inflight : int;
+  mutable peak : int;
+  mutable is_draining : bool;
+  mutable shut : bool;
+  mutable rr : int;        (* round-robin routing cursor *)
+  mutable ticket : int;    (* admission ordinal; seeds per-request jitter *)
+  reg : Stats.registry;
+  c : counters;
+}
+
+let config t = t.cfg
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* All counter mutation happens under [t.lock]: increments come from both
+   sys-threads (dispatchers) and pool domains (workers), and the registry's
+   plain mutable fields are not atomic across domains. *)
+
+let make_counters reg =
+  let g = Stats.group reg "service" in
+  let outcomes = Stats.subgroup g "outcomes" in
+  let execg = Stats.subgroup g "exec" in
+  let brg = Stats.subgroup g "breaker" in
+  {
+    admitted = Stats.counter g "admitted";
+    shed = Stats.counter g "shed" ~desc:"rejected before queueing";
+    ok = Stats.counter outcomes "ok";
+    bad_request = Stats.counter outcomes "bad_request";
+    deadline_exceeded = Stats.counter outcomes "deadline_exceeded";
+    overloaded = Stats.counter outcomes "overloaded";
+    fabric_quarantined = Stats.counter outcomes "fabric_quarantined";
+    internal = Stats.counter outcomes "internal";
+    exec_fabric = Stats.counter execg "fabric";
+    exec_cpu_fallback = Stats.counter execg "cpu_fallback";
+    exec_rerouted = Stats.counter execg "rerouted";
+    exec_retries = Stats.counter execg "retries";
+    exec_retry_successes = Stats.counter execg "retry_successes";
+    exec_abandoned = Stats.counter execg "abandoned"
+        ~desc:"worker tasks whose request's deadline fired before they started";
+    backoff_ms = Stats.histogram execg "backoff_ms";
+    br_trips = Stats.counter brg "trips";
+    br_reopens = Stats.counter brg "reopens";
+    br_recloses = Stats.counter brg "recloses" ~desc:"half-open probes that reclosed a shard";
+    br_probes = Stats.counter brg "half_open_probes";
+    br_faults = Stats.counter brg "faults_recorded";
+  }
+  |> fun c -> (g, c)
+
+(* Probes read live service state, so they can only be registered once the
+   record exists; the counters above have no such dependency. *)
+let register_probes t g =
+  let queue = Stats.subgroup g "queue" in
+  Stats.int_probe queue "depth" (fun () -> t.inflight);
+  Stats.int_probe queue "peak_depth" (fun () -> t.peak);
+  Stats.int_probe queue "capacity" (fun () -> t.cfg.queue_depth);
+  let shardsg = Stats.subgroup g "shards" in
+  Array.iter
+    (fun s ->
+      Stats.int_probe shardsg
+        (Printf.sprintf "shard%d_state" s.sh_id)
+        ~desc:"0 closed, 1 open, 2 half-open"
+        (fun () ->
+          match Breaker.state s.sh_breaker with
+          | Breaker.Closed -> 0
+          | Breaker.Open -> 1
+          | Breaker.Half_open -> 2))
+    t.shards;
+  let memo = Stats.subgroup g "memo" in
+  Stats.int_probe memo "translation_hits" (fun () ->
+      let h, _, _ = Runner.translation_cache_stats () in
+      h);
+  Stats.int_probe memo "translation_misses" (fun () ->
+      let _, m, _ = Runner.translation_cache_stats () in
+      m)
+
+let warm_translation_memo shard_grid =
+  List.iter
+    (fun k ->
+      try
+        ignore (Runner.dfg_of_kernel k);
+        ignore (Runner.placement_of ~grid:shard_grid k)
+      with Failure _ -> ())
+    (Workloads.all ())
+
+let create ?(config = default_config) () =
+  if config.shards < 1 then invalid_arg "Service.create: shards must be >= 1";
+  if config.shard_pes < 4 then
+    invalid_arg "Service.create: shard_pes must be >= 4";
+  if config.queue_depth < 1 then
+    invalid_arg "Service.create: queue_depth must be >= 1";
+  if config.max_retries < 0 then
+    invalid_arg "Service.create: max_retries must be >= 0";
+  (match Breaker.validate_config config.breaker with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Service.create: breaker " ^ e));
+  let grid = Grid.of_pe_count config.shard_pes in
+  let shards =
+    Array.init config.shards (fun i ->
+        { sh_id = i; sh_grid = grid; sh_breaker = Breaker.create config.breaker })
+  in
+  let reg = Stats.registry () in
+  let g, c = make_counters reg in
+  let t =
+    {
+      cfg = config;
+      pool = Pool.create ~jobs:(max 1 config.jobs) ();
+      shards;
+      lock = Mutex.create ();
+      settled = Condition.create ();
+      inflight = 0;
+      peak = 0;
+      is_draining = false;
+      shut = false;
+      rr = 0;
+      ticket = 0;
+      reg;
+      c;
+    }
+  in
+  register_probes t g;
+  if config.warm then warm_translation_memo grid;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Execution of one attempt.                                           *)
+
+let sum_regions f (report : Controller.report) =
+  List.fold_left (fun acc r -> acc + f r) 0 report.Controller.regions
+
+(* Full controller pipeline on one shard. Returns the response body (with
+   latency left at 0), the quarantine count that drives the breaker, and
+   the output validation verdict. *)
+let fabric_exec t (k : Kernel.t) shard inject ~rerouted ~retries =
+  let options =
+    Controller.default_options ~grid:shard.sh_grid ?inject ()
+  in
+  let options =
+    { options with Controller.watchdog_window = t.cfg.watchdog_window }
+  in
+  let mem = Main_memory.create () in
+  let machine = Kernel.prepare k mem in
+  let report = Controller.run ~options k.Kernel.program machine in
+  let quarantines = sum_regions (fun r -> r.Controller.quarantines) report in
+  let body =
+    {
+      Proto.kernel = k.Kernel.name;
+      cycles = report.Controller.total_cycles;
+      offloads = report.Controller.offloads;
+      mem_checksum = Main_memory.checksum mem;
+      shard = shard.sh_id;
+      site = Proto.Fabric;
+      rerouted;
+      retries;
+      quarantines;
+      faults_detected =
+        sum_regions (fun r -> r.Controller.faults_detected) report;
+      latency_ms = 0.0;
+    }
+  in
+  (body, quarantines, k.Kernel.check mem)
+
+let cpu_exec (k : Kernel.t) ~rerouted ~retries =
+  let mem = Main_memory.create () in
+  let machine = Kernel.prepare k mem in
+  let r = Cpu_run.run k.Kernel.program machine in
+  let body =
+    {
+      Proto.kernel = k.Kernel.name;
+      cycles = r.Cpu_run.summary.Ooo_model.cycles;
+      offloads = 0;
+      mem_checksum = Main_memory.checksum mem;
+      shard = -1;
+      site = Proto.Cpu;
+      rerouted;
+      retries;
+      quarantines = 0;
+      faults_detected = 0;
+      latency_ms = 0.0;
+    }
+  in
+  (body, k.Kernel.check mem)
+
+let err kind message = Proto.Err { Proto.kind; message }
+
+(* Route under the lock: advance every open breaker's cooldown, then scan
+   round-robin for a shard whose breaker admits traffic. *)
+let route t =
+  locked t (fun () ->
+      Array.iter (fun s -> Breaker.tick s.sh_breaker) t.shards;
+      let n = Array.length t.shards in
+      let start = t.rr in
+      t.rr <- (t.rr + 1) mod n;
+      let rec scan i skipped =
+        if i = n then None
+        else
+          let s = t.shards.((start + i) mod n) in
+          match Breaker.acquire s.sh_breaker with
+          | Some grant ->
+            if grant = `Probe then Stats.incr t.c.br_probes;
+            Some (s, grant, skipped > 0)
+          | None -> scan (i + 1) (skipped + 1)
+      in
+      scan 0 0)
+
+let record_breaker t shard ~probe ~ok =
+  locked t (fun () ->
+      if not ok then Stats.incr t.c.br_faults;
+      match Breaker.record shard.sh_breaker ~probe ~ok with
+      | Breaker.No_change -> ()
+      | Breaker.Tripped -> Stats.incr t.c.br_trips
+      | Breaker.Reclosed -> Stats.incr t.c.br_recloses
+      | Breaker.Reopened -> Stats.incr t.c.br_reopens)
+
+(* The worker-side attempt ladder. [inject] is armed on the first attempt
+   only: the schedule models an environmental strike during this request,
+   so a retry runs clean on (preferably) a different shard. *)
+let attempts t (k : Kernel.t) inject ~allow_fallback ~cancelled ~backoff =
+  let rec go attempt inject any_reroute =
+    if Atomic.get cancelled then begin
+      locked t (fun () -> Stats.incr t.c.exec_abandoned);
+      err Proto.Deadline_exceeded "deadline elapsed before execution started"
+    end
+    else
+      match route t with
+      | None ->
+        if allow_fallback then begin
+          match cpu_exec k ~rerouted:any_reroute ~retries:attempt with
+          | body, Ok () ->
+            locked t (fun () -> Stats.incr t.c.exec_cpu_fallback);
+            Proto.Ok_run body
+          | _, Error msg ->
+            err Proto.Internal ("cpu fallback output validation failed: " ^ msg)
+          | exception e -> err Proto.Internal (Printexc.to_string e)
+        end
+        else
+          err Proto.Fabric_quarantined
+            (Printf.sprintf
+               "all %d fabric shard(s) quarantined and fallback disallowed"
+               (Array.length t.shards))
+      | Some (shard, grant, skipped) ->
+        let probe = grant = `Probe in
+        let rerouted = any_reroute || skipped in
+        (match fabric_exec t k shard inject ~rerouted ~retries:attempt with
+        | body, quarantines, checked -> (
+          match checked with
+          | Error msg ->
+            record_breaker t shard ~probe ~ok:false;
+            err Proto.Internal ("output validation failed: " ^ msg)
+          | Ok () ->
+            if quarantines = 0 then begin
+              record_breaker t shard ~probe ~ok:true;
+              locked t (fun () ->
+                  Stats.incr t.c.exec_fabric;
+                  if rerouted then Stats.incr t.c.exec_rerouted;
+                  if attempt > 0 then Stats.incr t.c.exec_retry_successes);
+              Proto.Ok_run body
+            end
+            else begin
+              (* Architecturally correct (the in-run recovery ladder fell
+                 back to the CPU), but the shard faulted: trip its health
+                 tracker and, budget permitting, retry for a clean fabric
+                 result. *)
+              record_breaker t shard ~probe ~ok:false;
+              if attempt < t.cfg.max_retries && not (Atomic.get cancelled)
+              then begin
+                let delay_ms = Backoff.next_ms backoff in
+                locked t (fun () ->
+                    Stats.incr t.c.exec_retries;
+                    Stats.observe t.c.backoff_ms delay_ms);
+                Unix.sleepf (delay_ms /. 1000.0);
+                go (attempt + 1) None true
+              end
+              else begin
+                locked t (fun () ->
+                    Stats.incr t.c.exec_fabric;
+                    if rerouted then Stats.incr t.c.exec_rerouted);
+                Proto.Ok_run body
+              end
+            end)
+        | exception e ->
+          record_breaker t shard ~probe ~ok:false;
+          err Proto.Internal (Printexc.to_string e))
+  in
+  go 0 inject false
+
+(* ------------------------------------------------------------------ *)
+(* Admission, deadline and taxonomy accounting.                        *)
+
+let validate (req : Proto.run_request) =
+  match Workloads.find req.kernel with
+  | exception Not_found ->
+    Error (Printf.sprintf "unknown kernel %S" req.kernel)
+  | k -> (
+    match req.deadline_ms with
+    | Some d when not (d > 0.0) -> Error "deadline_ms must be positive"
+    | _ -> (
+      match req.inject with
+      | None -> Ok (k, None)
+      | Some s -> (
+        match Fault.spec_of_string ~seed:req.fault_seed s with
+        | Ok spec -> Ok (k, Some spec)
+        | Error e -> Error ("bad inject spec: " ^ e))))
+
+let tally t body =
+  locked t (fun () ->
+      match body with
+      | Proto.Ok_run _ -> Stats.incr t.c.ok
+      | Proto.Err e -> (
+        match e.Proto.kind with
+        | Proto.Bad_request -> Stats.incr t.c.bad_request
+        | Proto.Deadline_exceeded -> Stats.incr t.c.deadline_exceeded
+        | Proto.Overloaded -> Stats.incr t.c.overloaded
+        | Proto.Fabric_quarantined -> Stats.incr t.c.fabric_quarantined
+        | Proto.Internal -> Stats.incr t.c.internal)
+      | Proto.Stats_dump _ | Proto.Pong -> ())
+
+let bad_request t msg =
+  let body = err Proto.Bad_request msg in
+  tally t body;
+  body
+
+let execute t (req : Proto.run_request) =
+  let t0 = Unix.gettimeofday () in
+  match validate req with
+  | Error msg -> bad_request t msg
+  | Ok (k, inject) ->
+    let admitted =
+      locked t (fun () ->
+          if t.is_draining || t.shut then begin
+            Stats.incr t.c.shed;
+            Error (err Proto.Overloaded "service is draining")
+          end
+          else if t.inflight >= t.cfg.queue_depth then begin
+            Stats.incr t.c.shed;
+            Error
+              (err Proto.Overloaded
+                 (Printf.sprintf "queue full (depth %d)" t.cfg.queue_depth))
+          end
+          else begin
+            t.inflight <- t.inflight + 1;
+            if t.inflight > t.peak then t.peak <- t.inflight;
+            Stats.incr t.c.admitted;
+            let ticket = t.ticket in
+            t.ticket <- ticket + 1;
+            Ok ticket
+          end)
+    in
+    let body =
+      match admitted with
+      | Error body -> body
+      | Ok ticket ->
+        let cancelled = Atomic.make false in
+        let backoff =
+          (* Independent jitter stream per admitted request, reproducible
+             from (service seed, admission ordinal). *)
+          Backoff.create ~base_ms:t.cfg.backoff_base_ms
+            ~cap_ms:t.cfg.backoff_cap_ms
+            ~seed:(t.cfg.seed + (ticket * 0x9E3779B9))
+            ()
+        in
+        let fut =
+          Pool.submit t.pool (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  locked t (fun () ->
+                      t.inflight <- t.inflight - 1;
+                      Condition.broadcast t.settled))
+                (fun () ->
+                  attempts t k inject
+                    ~allow_fallback:req.Proto.allow_fallback ~cancelled
+                    ~backoff))
+        in
+        let deadline_ms =
+          match req.Proto.deadline_ms with
+          | Some d -> Some d
+          | None -> t.cfg.default_deadline_ms
+        in
+        (match deadline_ms with
+        | None -> Pool.await fut
+        | Some ms -> (
+          match Pool.await_timeout fut (ms /. 1000.0) with
+          | Some body -> body
+          | None ->
+            Atomic.set cancelled true;
+            err Proto.Deadline_exceeded
+              (Printf.sprintf "deadline of %gms exceeded" ms)))
+    in
+    tally t body;
+    (match body with
+    | Proto.Ok_run b ->
+      Proto.Ok_run
+        { b with Proto.latency_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+    | other -> other)
+
+(* ------------------------------------------------------------------ *)
+
+let stats t = locked t (fun () -> Stats.snapshot t.reg)
+
+let draining t = locked t (fun () -> t.is_draining)
+
+let begin_drain t = locked t (fun () -> t.is_draining <- true)
+
+let drain t =
+  locked t (fun () ->
+      t.is_draining <- true;
+      while t.inflight > 0 do
+        Condition.wait t.settled t.lock
+      done;
+      Stats.snapshot t.reg)
+
+let shutdown t =
+  ignore (drain t);
+  let was_shut = locked t (fun () ->
+      let w = t.shut in
+      t.shut <- true;
+      w)
+  in
+  if not was_shut then Pool.shutdown t.pool

@@ -99,6 +99,37 @@ let await fut =
       | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
       | Pending -> assert false)
 
+let try_await fut =
+  locked fut.f_lock (fun () ->
+      match fut.state with
+      | Pending -> None
+      | Done v -> Some v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt)
+
+let await_timeout fut secs =
+  match try_await fut with
+  | Some _ as r -> r
+  | None ->
+    if secs <= 0.0 then None
+    else begin
+      (* Condition.wait has no timed variant in the stdlib, so bounded
+         waiting polls with exponentially growing sleeps: responsive at
+         millisecond deadlines, negligible load while parked at the cap. *)
+      let deadline = Unix.gettimeofday () +. secs in
+      let rec poll sleep =
+        match try_await fut with
+        | Some _ as r -> r
+        | None ->
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0.0 then None
+          else begin
+            Unix.sleepf (Float.min sleep remaining);
+            poll (Float.min (sleep *. 2.0) 5e-3)
+          end
+      in
+      poll 5e-5
+    end
+
 let map t f xs = List.map await (List.map (fun x -> submit t (fun () -> f x)) xs)
 
 let shutdown t =

@@ -41,6 +41,19 @@ val await : 'a future -> 'a
 (** Block until the task finishes; returns its value or re-raises the
     exception it raised (with its backtrace). Idempotent. *)
 
+val try_await : 'a future -> 'a option
+(** Non-blocking poll: [Some v] if the task has finished, [None] while it
+    is still pending. Re-raises like {!await} if the task failed. *)
+
+val await_timeout : 'a future -> float -> 'a option
+(** [await_timeout fut secs] waits at most [secs] (wall-clock) seconds for
+    the task: [Some v] when it settles in time, [None] on timeout — the
+    task itself keeps running and a later {!await} still yields its result.
+    Re-raises like {!await} if the task failed within the window. A
+    non-positive [secs] is a {!try_await}. Waiting polls with exponential
+    sleeps (50us up to 5ms), so a dispatcher enforcing deadlines never
+    blocks forever on a wedged worker. *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Submit [f x] for every element, then await them all; the result list is
     in input order regardless of completion order. If several tasks raise,

@@ -1,0 +1,64 @@
+(* `mesa_cli fuzz --replay` on a missing or malformed corpus file must
+   fail with a one-line diagnostic and a non-zero exit — never a raw
+   backtrace. argv: mesa_cli path. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let run_replay cli file =
+  let stderr_file = Filename.temp_file "replay-smoke" ".err" in
+  let code =
+    Sys.command
+      (Filename.quote_command cli ~stdout:Filename.null ~stderr:stderr_file
+         [ "fuzz"; "--replay"; file ])
+  in
+  let ic = open_in stderr_file in
+  let len = in_channel_length ic in
+  let err = really_input_string ic len in
+  close_in ic;
+  Sys.remove stderr_file;
+  (code, err)
+
+let check_case cli ~label file =
+  let code, err = run_replay cli file in
+  if code = 0 then fail "%s: expected a non-zero exit, got 0" label;
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' err)
+  in
+  (match lines with
+  | [ _ ] -> ()
+  | _ ->
+    fail "%s: expected exactly one diagnostic line, got %d:\n%s" label
+      (List.length lines) err);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun marker ->
+      List.iter
+        (fun l ->
+          if contains l marker then
+            fail "%s: diagnostic looks like a backtrace: %s" label l)
+        lines)
+    [ "Raised at"; "Raised by"; "Called from"; "Fatal error" ];
+  Printf.printf "%s: exit %d, %s\n" label code (List.hd lines)
+
+let () =
+  let cli = Sys.argv.(1) in
+  check_case cli ~label:"missing corpus file" "no-such-corpus-entry.json";
+  let malformed = Filename.temp_file "replay-smoke" ".json" in
+  let oc = open_out malformed in
+  output_string oc "{ this is not json\n";
+  close_out oc;
+  check_case cli ~label:"malformed corpus file" malformed;
+  let nospec = Filename.temp_file "replay-smoke" ".json" in
+  let oc = open_out nospec in
+  output_string oc "{\"note\": \"valid json, not a corpus entry\"}\n";
+  close_out oc;
+  check_case cli ~label:"json without spec/fabric" nospec;
+  Sys.remove malformed;
+  Sys.remove nospec;
+  print_endline "replay smoke ok"

@@ -30,4 +30,5 @@ let () =
          Test_dse.suites;
          Test_profile.suites;
          Test_gen.suites;
+         Test_service.suites;
        ])

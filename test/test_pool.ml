@@ -68,6 +68,59 @@ let submit_after_shutdown_rejected () =
 let default_jobs_positive () =
   check Alcotest.bool "recommended domain count >= 1" true (Pool.default_jobs () >= 1)
 
+let try_await_polls_without_blocking () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let gate = Atomic.make false in
+      let f =
+        Pool.submit pool (fun () ->
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done;
+            11)
+      in
+      check (Alcotest.option Alcotest.int) "pending -> None" None (Pool.try_await f);
+      Atomic.set gate true;
+      check Alcotest.int "await still yields the value" 11 (Pool.await f);
+      check (Alcotest.option Alcotest.int) "settled -> Some" (Some 11)
+        (Pool.try_await f))
+
+let await_timeout_times_out_then_settles () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let gate = Atomic.make false in
+      let f =
+        Pool.submit pool (fun () ->
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done;
+            23)
+      in
+      check (Alcotest.option Alcotest.int) "times out while blocked" None
+        (Pool.await_timeout f 0.02);
+      check (Alcotest.option Alcotest.int) "non-positive timeout is a poll" None
+        (Pool.await_timeout f 0.0);
+      Atomic.set gate true;
+      (* The abandoned task kept running; a later bounded wait gets it. *)
+      check (Alcotest.option Alcotest.int) "later wait sees the result" (Some 23)
+        (Pool.await_timeout f 5.0))
+
+let await_timeout_propagates_exceptions () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let f = Pool.submit pool (fun () -> failwith "boom") in
+      Alcotest.check_raises "failure re-raised within the window"
+        (Failure "boom") (fun () -> ignore (Pool.await_timeout f 1.0));
+      Alcotest.check_raises "try_await re-raises too" (Failure "boom")
+        (fun () -> ignore (Pool.try_await f)))
+
+(* qcheck: for settled futures a bounded wait agrees with await, at any
+   jobs count (jobs=1 settles at submit; jobs>1 settles within the window). *)
+let qcheck_await_timeout_agrees =
+  QCheck.Test.make ~count:50 ~name:"Pool.await_timeout agrees with await"
+    QCheck.(pair (int_range 1 4) small_int)
+    (fun (jobs, x) ->
+      Pool.with_pool ~jobs (fun pool ->
+          let f = Pool.submit pool (fun () -> x * 3) in
+          Pool.await_timeout f 5.0 = Some (Pool.await f)))
+
 (* qcheck: parallel map is extensionally List.map, for arbitrary inputs and
    job counts. *)
 let qcheck_map_is_list_map =
@@ -100,7 +153,12 @@ let suites =
         Alcotest.test_case "await idempotent" `Quick await_is_idempotent;
         Alcotest.test_case "shutdown semantics" `Quick submit_after_shutdown_rejected;
         Alcotest.test_case "default jobs" `Quick default_jobs_positive;
+        Alcotest.test_case "try_await" `Quick try_await_polls_without_blocking;
+        Alcotest.test_case "await_timeout" `Quick await_timeout_times_out_then_settles;
+        Alcotest.test_case "await_timeout exceptions" `Quick
+          await_timeout_propagates_exceptions;
         QCheck_alcotest.to_alcotest qcheck_map_is_list_map;
+        QCheck_alcotest.to_alcotest qcheck_await_timeout_agrees;
         Alcotest.test_case "fig11 jobs determinism" `Slow fig11_jobs_bit_identical;
       ] );
   ]

@@ -1,0 +1,597 @@
+(* The mesad service layer: wire-protocol codec (golden taxonomy pin,
+   qcheck roundtrips, unknown-field tolerance), circuit breaker and
+   backoff state machines, and the live service behind a temp unix
+   socket — admission control, deadlines, chaos recovery, graceful
+   drain and the seeded loadgen determinism digest. *)
+
+let check = Alcotest.check
+
+(* ---------------- taxonomy golden pin ---------------- *)
+
+(* The closed error taxonomy, pinned: changing any string (or the set) is
+   a protocol revision, not a refactor. Extend deliberately or not at
+   all. *)
+let taxonomy_golden () =
+  check
+    (Alcotest.list Alcotest.string)
+    "taxonomy strings are pinned"
+    [
+      "bad_request";
+      "deadline_exceeded";
+      "overloaded";
+      "fabric_quarantined";
+      "internal";
+    ]
+    (List.map Proto.error_kind_to_string Proto.all_error_kinds);
+  List.iter
+    (fun k ->
+      match Proto.error_kind_of_string (Proto.error_kind_to_string k) with
+      | Ok k' when k' = k -> ()
+      | _ -> Alcotest.fail "error_kind_of_string does not invert to_string")
+    Proto.all_error_kinds;
+  (match Proto.error_kind_of_string "timeout" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown kind must not decode")
+
+(* ---------------- codec roundtrips (qcheck) ---------------- *)
+
+let gen_run_request =
+  QCheck.Gen.(
+    let* id = int_bound 10_000 in
+    let* kernel = oneofl [ "nn"; "kmeans"; "bfs"; "hotspot"; "x y\"z" ] in
+    let* deadline_ms =
+      oneof [ return None; map (fun f -> Some (Float.abs f +. 0.5)) float ]
+    in
+    let* inject =
+      oneofl [ None; Some "transient@40"; Some "permanent@80,link@9" ]
+    in
+    let* fault_seed = int_bound 1_000_000 in
+    let* allow_fallback = bool in
+    return
+      {
+        Proto.id;
+        kernel;
+        deadline_ms;
+        inject;
+        fault_seed;
+        allow_fallback;
+      })
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun r -> Proto.Run r) gen_run_request;
+        map (fun id -> Proto.Get_stats id) (int_bound 1000);
+        map (fun id -> Proto.Ping id) (int_bound 1000);
+      ])
+
+let arb_request = QCheck.make ~print:Proto.request_to_line gen_request
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"Proto request json roundtrip"
+    arb_request (fun req ->
+      match Proto.request_of_json (Proto.request_to_json req) with
+      | Ok req' -> req' = req
+      | Error _ -> false)
+
+let gen_body =
+  QCheck.Gen.(
+    oneof
+      [
+        ( let* kernel = oneofl [ "nn"; "bfs" ] in
+          let* cycles = int_bound 1_000_000 in
+          let* offloads = int_bound 16 in
+          let* mem_checksum = int_bound max_int in
+          let* site = oneofl [ Proto.Fabric; Proto.Cpu ] in
+          let* shard = if site = Proto.Cpu then return (-1) else int_bound 7 in
+          let* rerouted = bool in
+          let* retries = int_bound 3 in
+          let* quarantines = int_bound 3 in
+          let* faults_detected = int_bound 5 in
+          let* latency_ms = map Float.abs float in
+          return
+            (Proto.Ok_run
+               {
+                 Proto.kernel;
+                 cycles;
+                 offloads;
+                 mem_checksum;
+                 shard;
+                 site;
+                 rerouted;
+                 retries;
+                 quarantines;
+                 faults_detected;
+                 latency_ms;
+               }) );
+        ( let* kind = oneofl Proto.all_error_kinds in
+          let* message = oneofl [ ""; "boom"; "shard 3: \"quoted\"\n" ] in
+          return (Proto.Err { Proto.kind; message }) );
+        return Proto.Pong;
+        return (Proto.Stats_dump (Json.Assoc [ ("x", Json.Int 3) ]));
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    let* rsp_id = int_bound 10_000 in
+    let* body = gen_body in
+    return { Proto.rsp_id; body })
+
+let arb_response = QCheck.make ~print:Proto.response_to_line gen_response
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"Proto response json roundtrip"
+    arb_response (fun rsp ->
+      (* Through the actual wire format (one line of text), not just the
+         Json.t tree. *)
+      match
+        Result.bind
+          (Json.of_string (Proto.response_to_line rsp))
+          Proto.response_of_json
+      with
+      | Ok rsp' -> rsp' = rsp
+      | Error _ -> false)
+
+(* ---------------- unknown-field tolerance ---------------- *)
+
+let unknown_fields_tolerated () =
+  (* A request from a newer client: extra fields everywhere, fancier op
+     spelling absent (missing op means run). *)
+  let line =
+    {|{"id":7,"kernel":"nn","priority":"high","tags":[1,2],"fault_seed":9,"nested":{"a":true}}|}
+  in
+  (match Result.bind (Json.of_string line) Proto.request_of_json with
+  | Ok (Proto.Run r) ->
+    check Alcotest.int "id" 7 r.Proto.id;
+    check Alcotest.string "kernel" "nn" r.Proto.kernel;
+    check Alcotest.int "fault_seed" 9 r.Proto.fault_seed;
+    check Alcotest.bool "fallback defaults true" true r.Proto.allow_fallback
+  | Ok _ -> Alcotest.fail "decoded to the wrong op"
+  | Error e -> Alcotest.fail ("unknown fields must be ignored: " ^ e));
+  (* A response from a newer daemon likewise. *)
+  let line =
+    {|{"id":3,"ok":{"kernel":"nn","cycles":5,"offloads":1,"mem_checksum":2,"shard":0,"site":"fabric","power_mw":123},"took_ns":88}|}
+  in
+  (match Result.bind (Json.of_string line) Proto.response_of_json with
+  | Ok { Proto.rsp_id = 3; body = Proto.Ok_run b } ->
+    check Alcotest.int "cycles" 5 b.Proto.cycles
+  | Ok _ -> Alcotest.fail "decoded to the wrong body"
+  | Error e -> Alcotest.fail ("unknown fields must be ignored: " ^ e));
+  (* But a malformed known field is still an error, not a default. *)
+  match
+    Result.bind
+      (Json.of_string {|{"id":1,"kernel":"nn","deadline_ms":-5}|})
+      Proto.request_of_json
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-positive deadline must not decode"
+
+(* ---------------- breaker state machine ---------------- *)
+
+let breaker_cfg =
+  { Breaker.trip_threshold = 2; cooldown = 3; max_cooldown = 12 }
+
+let breaker_trips_and_recloses () =
+  let b = Breaker.create breaker_cfg in
+  check Alcotest.string "starts closed" "closed"
+    (Breaker.state_name (Breaker.state b));
+  (* One fault is below threshold; a clean run resets the count. *)
+  (match Breaker.acquire b with Some `Route -> () | _ -> Alcotest.fail "route");
+  ignore (Breaker.record b ~probe:false ~ok:false);
+  ignore (Breaker.record b ~probe:false ~ok:true);
+  ignore (Breaker.record b ~probe:false ~ok:false);
+  check Alcotest.string "still closed below threshold" "closed"
+    (Breaker.state_name (Breaker.state b));
+  (* Second consecutive fault trips. *)
+  (match Breaker.record b ~probe:false ~ok:false with
+  | Breaker.Tripped -> ()
+  | _ -> Alcotest.fail "expected Tripped");
+  check Alcotest.bool "open admits nothing" true (Breaker.acquire b = None);
+  (* Cooldown is measured in ticks; after [cooldown] the breaker goes
+     half-open and grants exactly one probe. *)
+  Breaker.tick b;
+  Breaker.tick b;
+  check Alcotest.bool "still open mid-cooldown" true (Breaker.acquire b = None);
+  Breaker.tick b;
+  (match Breaker.acquire b with
+  | Some `Probe -> ()
+  | _ -> Alcotest.fail "expected the half-open probe");
+  check Alcotest.bool "only one probe" true (Breaker.acquire b = None);
+  (match Breaker.record b ~probe:true ~ok:true with
+  | Breaker.Reclosed -> ()
+  | _ -> Alcotest.fail "clean probe must reclose");
+  check Alcotest.string "reclosed" "closed"
+    (Breaker.state_name (Breaker.state b))
+
+let breaker_reopen_doubles_cooldown () =
+  let b = Breaker.create breaker_cfg in
+  let trip () =
+    for _ = 1 to breaker_cfg.Breaker.trip_threshold do
+      ignore (Breaker.acquire b);
+      ignore (Breaker.record b ~probe:false ~ok:false)
+    done
+  in
+  let ticks_until_half_open () =
+    let n = ref 0 in
+    while Breaker.state b = Breaker.Open do
+      Breaker.tick b;
+      incr n
+    done;
+    !n
+  in
+  trip ();
+  check Alcotest.int "first cooldown" 3 (ticks_until_half_open ());
+  ignore (Breaker.acquire b);
+  (match Breaker.record b ~probe:true ~ok:false with
+  | Breaker.Reopened -> ()
+  | _ -> Alcotest.fail "faulted probe must reopen");
+  check Alcotest.int "doubled" 6 (ticks_until_half_open ());
+  ignore (Breaker.acquire b);
+  ignore (Breaker.record b ~probe:true ~ok:false);
+  check Alcotest.int "doubled again" 12 (ticks_until_half_open ());
+  ignore (Breaker.acquire b);
+  ignore (Breaker.record b ~probe:true ~ok:false);
+  check Alcotest.int "capped at max_cooldown" 12 (ticks_until_half_open ())
+
+(* ---------------- backoff ---------------- *)
+
+let backoff_seeded_and_bounded () =
+  let seq seed =
+    let b = Backoff.create ~base_ms:1.0 ~cap_ms:8.0 ~seed () in
+    List.init 6 (fun _ -> Backoff.next_ms b)
+  in
+  check (Alcotest.list (Alcotest.float 0.0)) "same seed, same schedule"
+    (seq 42) (seq 42);
+  check Alcotest.bool "different seeds diverge" true (seq 1 <> seq 2);
+  List.iteri
+    (fun i d ->
+      if d < 0.0 || d > 8.0 then
+        Alcotest.fail
+          (Printf.sprintf "draw %d = %f outside [0, cap]" i d))
+    (seq 7);
+  let b = Backoff.create ~seed:5 () in
+  ignore (Backoff.next_ms b);
+  ignore (Backoff.next_ms b);
+  check Alcotest.int "attempt counter advances" 2 (Backoff.attempt b)
+
+(* ---------------- the live service ---------------- *)
+
+(* Small, fast, deterministic-friendly service: 2 shards of 64 PEs, a
+   hair-trigger breaker so chaos runs actually trip it. *)
+let test_service_config =
+  {
+    Service.default_config with
+    Service.shards = 2;
+    shard_pes = 64;
+    jobs = 2;
+    breaker = { Breaker.trip_threshold = 1; cooldown = 2; max_cooldown = 16 };
+    warm = false;
+  }
+
+let with_service ?(config = test_service_config) f =
+  let svc = Service.create ~config () in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) (fun () -> f svc)
+
+(* The dense transient storm that exhausts the controller's consecutive
+   retry budget and quarantines the shard mid-run. *)
+let storm =
+  "transient@40,transient@90,transient@140,transient@190,transient@240,\
+   transient@290,transient@340,transient@390,transient@440,transient@490"
+
+let service_validates_requests () =
+  with_service (fun svc ->
+      (match Service.execute svc (Proto.run_request ~id:1 "no-such-kernel") with
+      | Proto.Err { Proto.kind = Proto.Bad_request; _ } -> ()
+      | _ -> Alcotest.fail "unknown kernel must be bad_request");
+      match
+        Service.execute svc
+          (Proto.run_request ~id:2 ~inject:"garbage@@" "nn")
+      with
+      | Proto.Err { Proto.kind = Proto.Bad_request; _ } -> ()
+      | _ -> Alcotest.fail "malformed inject must be bad_request")
+
+let service_runs_and_counts () =
+  with_service (fun svc ->
+      (match Service.execute svc (Proto.run_request ~id:1 "nn") with
+      | Proto.Ok_run b ->
+        check Alcotest.string "fabric site" "fabric"
+          (Proto.site_to_string b.Proto.site);
+        check Alcotest.bool "positive cycles" true (b.Proto.cycles > 0)
+      | _ -> Alcotest.fail "clean run must succeed");
+      let snap = Service.stats svc in
+      check (Alcotest.option Alcotest.int) "ok counted" (Some 1)
+        (Stats.find_int snap "service.outcomes.ok");
+      check (Alcotest.option Alcotest.int) "no internal errors" (Some 0)
+        (Stats.find_int snap "service.outcomes.internal"))
+
+let deadline_resolves_to_taxonomy () =
+  with_service (fun svc ->
+      (* 2 worker domains: execution is asynchronous, so a microscopic
+         deadline elapses while the run (hundreds of ms) is in flight. *)
+      (match
+         Service.execute svc (Proto.run_request ~id:1 ~deadline_ms:0.01 "nn")
+       with
+      | Proto.Err { Proto.kind = Proto.Deadline_exceeded; _ } -> ()
+      | _ -> Alcotest.fail "must resolve to deadline_exceeded");
+      let snap = Service.stats svc in
+      check (Alcotest.option Alcotest.int) "counted once" (Some 1)
+        (Stats.find_int snap "service.outcomes.deadline_exceeded"))
+
+let draining_sheds_with_overloaded () =
+  with_service (fun svc ->
+      Service.begin_drain svc;
+      (match Service.execute svc (Proto.run_request ~id:1 "nn") with
+      | Proto.Err { Proto.kind = Proto.Overloaded; _ } -> ()
+      | _ -> Alcotest.fail "draining service must shed with overloaded");
+      let snap = Service.drain svc in
+      check (Alcotest.option Alcotest.int) "shed counted" (Some 1)
+        (Stats.find_int snap "service.shed"))
+
+let queue_full_sheds_with_overloaded () =
+  let config = { test_service_config with Service.queue_depth = 1 } in
+  with_service ~config (fun svc ->
+      (* Fill the single queue slot with a request whose awaiter gives up
+         immediately; the worker task keeps the slot occupied. *)
+      (match
+         Service.execute svc (Proto.run_request ~id:1 ~deadline_ms:0.01 "nn")
+       with
+      | Proto.Err { Proto.kind = Proto.Deadline_exceeded; _ } -> ()
+      | _ -> Alcotest.fail "expected deadline_exceeded");
+      match Service.execute svc (Proto.run_request ~id:2 "nn") with
+      | Proto.Err { Proto.kind = Proto.Overloaded; _ } -> ()
+      | _ -> Alcotest.fail "full queue must shed with overloaded")
+
+let chaos_trips_and_recovers () =
+  with_service (fun svc ->
+      (* A storm on the first request quarantines mid-run and trips that
+         shard's breaker (threshold 1); the service retries clean and the
+         request still succeeds. *)
+      (match
+         Service.execute svc (Proto.run_request ~id:1 ~inject:storm "nn")
+       with
+      | Proto.Ok_run _ -> ()
+      | _ -> Alcotest.fail "storm run must still succeed via retry");
+      (* Clean traffic ticks the open breaker through cooldown into its
+         half-open probe, which recloses it. *)
+      for i = 2 to 6 do
+        match Service.execute svc (Proto.run_request ~id:i "nn") with
+        | Proto.Ok_run _ -> ()
+        | _ -> Alcotest.fail "clean run must succeed"
+      done;
+      let snap = Service.stats svc in
+      let counter name =
+        Option.value ~default:0 (Stats.find_int snap name)
+      in
+      check Alcotest.bool "breaker tripped" true
+        (counter "service.breaker.trips" > 0);
+      check Alcotest.bool "half-open probe reclosed" true
+        (counter "service.breaker.recloses" > 0);
+      check (Alcotest.option Alcotest.int) "no internal errors" (Some 0)
+        (Stats.find_int snap "service.outcomes.internal");
+      check (Alcotest.option Alcotest.int) "every request resolved ok"
+        (Some 6)
+        (Stats.find_int snap "service.outcomes.ok"))
+
+let fallback_forbidden_is_fabric_quarantined () =
+  let config =
+    {
+      test_service_config with
+      Service.shards = 1;
+      breaker =
+        { Breaker.trip_threshold = 1; cooldown = 50; max_cooldown = 50 };
+      max_retries = 0;
+    }
+  in
+  with_service ~config (fun svc ->
+      (* Trip the only shard... *)
+      (match
+         Service.execute svc (Proto.run_request ~id:1 ~inject:storm "nn")
+       with
+      | Proto.Ok_run _ -> ()
+      | _ -> Alcotest.fail "storm run still succeeds (degraded)");
+      (* ...then a request that forbids CPU fallback has nowhere to go. *)
+      (match
+         Service.execute svc
+           (Proto.run_request ~id:2 ~allow_fallback:false "nn")
+       with
+      | Proto.Err { Proto.kind = Proto.Fabric_quarantined; _ } -> ()
+      | _ -> Alcotest.fail "must resolve to fabric_quarantined");
+      (* ...while one that allows it lands on the CPU. *)
+      match Service.execute svc (Proto.run_request ~id:3 "nn") with
+      | Proto.Ok_run b ->
+        check Alcotest.string "cpu fallback" "cpu"
+          (Proto.site_to_string b.Proto.site)
+      | _ -> Alcotest.fail "fallback run must succeed")
+
+(* ---------------- the daemon over a real socket ---------------- *)
+
+let temp_socket () =
+  let path = Filename.temp_file "mesad-test" ".sock" in
+  Sys.remove path;
+  path
+
+let with_daemon ?(config = test_service_config) f =
+  let d = Mesad.start ~service_config:config ~socket:(temp_socket ()) () in
+  Fun.protect ~finally:(fun () -> ignore (Mesad.stop d)) (fun () -> f d)
+
+let send_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  ignore (Unix.write fd b 0 (Bytes.length b))
+
+let read_line_fd fd =
+  let buf = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> None
+    | _ ->
+      if Bytes.get one 0 = '\n' then Some (Buffer.contents buf)
+      else begin
+        Buffer.add_char buf (Bytes.get one 0);
+        go ()
+      end
+  in
+  go ()
+
+let daemon_answers_and_salvages_ids () =
+  with_daemon (fun d ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX (Mesad.socket_path d));
+          send_line fd {|{"op":"ping","id":41}|};
+          (match
+             Option.bind (read_line_fd fd) (fun l ->
+                 Result.to_option
+                   (Result.bind (Json.of_string l) Proto.response_of_json))
+           with
+          | Some { Proto.rsp_id = 41; body = Proto.Pong } -> ()
+          | _ -> Alcotest.fail "expected a pong with the caller's id");
+          (* Unparseable line: a structured bad_request, never a hang or
+             a dropped connection. *)
+          send_line fd "this is not json";
+          (match
+             Option.bind (read_line_fd fd) (fun l ->
+                 Result.to_option
+                   (Result.bind (Json.of_string l) Proto.response_of_json))
+           with
+          | Some { Proto.body = Proto.Err e; _ } ->
+            check Alcotest.string "bad_request" "bad_request"
+              (Proto.error_kind_to_string e.Proto.kind)
+          | _ -> Alcotest.fail "expected a bad_request response");
+          (* Malformed request with a recoverable id: the error response
+             carries the caller's id. *)
+          send_line fd {|{"id":77,"op":"warp"}|};
+          match
+            Option.bind (read_line_fd fd) (fun l ->
+                Result.to_option
+                  (Result.bind (Json.of_string l) Proto.response_of_json))
+          with
+          | Some { Proto.rsp_id = 77; body = Proto.Err _ } -> ()
+          | _ -> Alcotest.fail "salvaged id must come back on the error"))
+
+let drain_loses_no_inflight_request () =
+  with_daemon (fun d ->
+      let got = ref None in
+      let client =
+        Thread.create
+          (fun () ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX (Mesad.socket_path d));
+            send_line fd
+              (Proto.request_to_line
+                 (Proto.Run (Proto.run_request ~id:9 "nn")));
+            got :=
+              Option.bind (read_line_fd fd) (fun l ->
+                  Result.to_option
+                    (Result.bind (Json.of_string l) Proto.response_of_json));
+            Unix.close fd)
+          ()
+      in
+      (* Let the request reach admission, then drain concurrently. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        Option.value ~default:0
+          (Stats.find_int (Service.stats (Mesad.service d)) "service.admitted")
+        = 0
+        && Unix.gettimeofday () < deadline
+      do
+        Thread.yield ()
+      done;
+      ignore (Mesad.stop d);
+      Thread.join client;
+      match !got with
+      | Some { Proto.rsp_id = 9; body = Proto.Ok_run _ } -> ()
+      | Some { Proto.body = Proto.Err e; _ } ->
+        Alcotest.fail
+          ("in-flight request resolved to an error across drain: "
+          ^ Proto.error_kind_to_string e.Proto.kind)
+      | _ -> Alcotest.fail "in-flight request lost across drain")
+
+(* ---------------- seeded loadgen determinism (satellite) ---------------- *)
+
+let loadgen_digest_deterministic () =
+  (* Same seed, concurrency 1, chaos on: per-request results (outcome,
+     cycles, checksum, site, shard, retries, quarantines — latency
+     excluded) must be bit-identical across two fresh daemons. *)
+  let run_once () =
+    let socket = temp_socket () in
+    let d = Mesad.start ~service_config:test_service_config ~socket () in
+    Fun.protect
+      ~finally:(fun () -> ignore (Mesad.stop d))
+      (fun () ->
+        Loadgen.run
+          {
+            Loadgen.default_config with
+            Loadgen.socket;
+            requests = 6;
+            concurrency = 1;
+            seed = 11;
+            kernels = [ "nn" ];
+            chaos = true;
+            chaos_rate = 0.5;
+            injects = [ storm ];
+            no_fallback_rate = 0.0;
+          })
+  in
+  let a = run_once () in
+  let b = run_once () in
+  check Alcotest.int "all requests answered" 6 a.Loadgen.completed;
+  check Alcotest.int "no protocol errors" 0 a.Loadgen.protocol_errors;
+  check Alcotest.string "digest is bit-identical across runs"
+    (Printf.sprintf "%016x" a.Loadgen.digest)
+    (Printf.sprintf "%016x" b.Loadgen.digest);
+  (* And the stream itself is a pure function of the seed. *)
+  let cfg = { Loadgen.default_config with Loadgen.seed = 11 } in
+  check Alcotest.bool "request stream deterministic" true
+    (List.init 20 (Loadgen.request_at cfg)
+    = List.init 20 (Loadgen.request_at cfg))
+
+let suites =
+  [
+    ( "service.proto",
+      [
+        Alcotest.test_case "taxonomy golden pin" `Quick taxonomy_golden;
+        Alcotest.test_case "unknown fields tolerated" `Quick
+          unknown_fields_tolerated;
+        QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+      ] );
+    ( "service.breaker",
+      [
+        Alcotest.test_case "trips, cools down, probes, recloses" `Quick
+          breaker_trips_and_recloses;
+        Alcotest.test_case "reopen doubles cooldown up to the cap" `Quick
+          breaker_reopen_doubles_cooldown;
+        Alcotest.test_case "backoff is seeded and bounded" `Quick
+          backoff_seeded_and_bounded;
+      ] );
+    ( "service.core",
+      [
+        Alcotest.test_case "validation errors are bad_request" `Quick
+          service_validates_requests;
+        Alcotest.test_case "clean run succeeds and is counted" `Quick
+          service_runs_and_counts;
+        Alcotest.test_case "deadline resolves to deadline_exceeded" `Quick
+          deadline_resolves_to_taxonomy;
+        Alcotest.test_case "draining sheds with overloaded" `Quick
+          draining_sheds_with_overloaded;
+        Alcotest.test_case "full queue sheds with overloaded" `Quick
+          queue_full_sheds_with_overloaded;
+        Alcotest.test_case "chaos trips the breaker and recovers" `Slow
+          chaos_trips_and_recovers;
+        Alcotest.test_case "no shard + no fallback = fabric_quarantined"
+          `Slow fallback_forbidden_is_fabric_quarantined;
+      ] );
+    ( "service.daemon",
+      [
+        Alcotest.test_case "answers, salvages ids, survives garbage" `Quick
+          daemon_answers_and_salvages_ids;
+        Alcotest.test_case "drain loses no in-flight request" `Slow
+          drain_loses_no_inflight_request;
+        Alcotest.test_case "seeded loadgen digest is deterministic" `Slow
+          loadgen_digest_deterministic;
+      ] );
+  ]
