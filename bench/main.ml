@@ -9,10 +9,13 @@
      dune exec bench/main.exe -- list         -- experiment names
 
    Options (before the experiment names):
-     --jobs N    run each experiment's measurements on N domains
-                 (default 1; the tables are bit-identical for any N)
-     --json PATH dump per-experiment wall-clock timings as JSON
-     --csv DIR   write each outcome as CSV *)
+     --jobs N     run each experiment's measurements on N domains
+                  (default 1; the tables are bit-identical for any N)
+     --json PATH  dump per-experiment timings as JSON (schema v2: wall
+                  clock plus simulated_cycles / cycles_per_second)
+     --check PATH compare against a baseline JSON: simulated_cycles must
+                  match exactly, cycles_per_second may not regress >2x
+     --csv DIR    write each outcome as CSV *)
 
 let experiments : (string * (jobs:int option -> Experiments.outcome)) list =
   [
@@ -77,14 +80,19 @@ let chart_of name (o : Experiments.outcome) =
     Some (Chart.bars ~title:"Figure 15 (chart): nn scaling, default memory" series)
   | _ -> None
 
-(* (experiment, wall-clock seconds) pairs, accumulated for --json. *)
-let timings : (string * float) list ref = ref []
+(* Per-experiment (wall-clock seconds, simulated-cycle delta) pairs,
+   accumulated for --json / --check. The cycle delta comes from the
+   process-wide {!Sim_meter}, so it is exact and jobs-invariant — CI can
+   equality-gate on it while only tolerance-gating the wall clock. *)
+let timings : (string * float * int) list ref = ref []
 
 let run_experiment ?csv_dir ?jobs name f =
   let t0 = Unix.gettimeofday () in
+  let c0 = Sim_meter.read () in
   let outcome = f ~jobs in
   let dt = Unix.gettimeofday () -. t0 in
-  timings := (name, dt) :: !timings;
+  let cycles = Sim_meter.read () - c0 in
+  timings := (name, dt, cycles) :: !timings;
   Printf.printf "\n";
   Tables.print outcome.Experiments.table;
   (match chart_of name outcome with
@@ -100,19 +108,31 @@ let run_experiment ?csv_dir ?jobs name f =
   | None -> ());
   Printf.printf "[%s finished in %.1fs]\n%!" name dt
 
+(* Schema v2 adds [schema_version] plus per-experiment [simulated_cycles]
+   and [cycles_per_second]; every v1 field keeps its name and meaning, so
+   v1 consumers keep working. *)
 let write_timings ~path ~jobs =
   let ts = List.rev !timings in
-  let total = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 ts in
+  let total = List.fold_left (fun acc (_, dt, _) -> acc +. dt) 0.0 ts in
   let json =
     Json.Assoc
       [
+        ("schema_version", Json.Int 2);
         ("jobs", Json.Int (match jobs with None -> 1 | Some j -> j));
         ("total_seconds", Json.Float total);
         ( "experiments",
           Json.List
             (List.map
-               (fun (name, dt) ->
-                 Json.Assoc [ ("name", Json.String name); ("seconds", Json.Float dt) ])
+               (fun (name, dt, cycles) ->
+                 Json.Assoc
+                   [
+                     ("name", Json.String name);
+                     ("seconds", Json.Float dt);
+                     ("simulated_cycles", Json.Int cycles);
+                     ( "cycles_per_second",
+                       Json.Float
+                         (if dt > 0.0 then float_of_int cycles /. dt else 0.0) );
+                   ])
                ts) );
       ]
   in
@@ -121,6 +141,56 @@ let write_timings ~path ~jobs =
   output_string oc "\n";
   close_out oc;
   Printf.printf "[wrote %s]\n%!" path
+
+(* --check BASELINE.json: compare this run against a committed schema-v2
+   baseline. [simulated_cycles] must match exactly (the simulation is
+   deterministic — any drift is a correctness bug, not noise); the wall
+   clock only fails when [cycles_per_second] drops more than 2x below the
+   baseline, a loose bound that survives shared CI runners. Experiments
+   absent from either side are skipped, as are baselines without cycle
+   fields (schema v1). *)
+let check_against ~path =
+  let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("[check] " ^ s); true) fmt in
+  let text = In_channel.with_open_text path In_channel.input_all in
+  match Json.of_string text with
+  | Error e ->
+    Printf.eprintf "[check] cannot parse %s: %s\n" path e;
+    exit 1
+  | Ok base ->
+    let base_exps =
+      match Json.member "experiments" base with
+      | Some l -> Option.value (Json.to_list l) ~default:[]
+      | None -> []
+    in
+    let lookup name =
+      List.find_opt
+        (fun e -> Json.member "name" e |> Option.map Json.to_string_opt
+                  |> Option.join = Some name)
+        base_exps
+    in
+    let bad = ref false in
+    List.iter
+      (fun (name, dt, cycles) ->
+        match lookup name with
+        | None -> ()
+        | Some e ->
+          let bint k = Json.member k e |> fun o -> Option.bind o Json.to_int in
+          let bfloat k = Json.member k e |> fun o -> Option.bind o Json.to_float in
+          (match bint "simulated_cycles" with
+          | Some c when c <> cycles ->
+            bad := fail "%s: simulated_cycles %d, baseline %d" name cycles c || !bad
+          | _ -> ());
+          (match bfloat "cycles_per_second" with
+          | Some base_cps when base_cps > 0.0 ->
+            let cps = if dt > 0.0 then float_of_int cycles /. dt else 0.0 in
+            if cps < base_cps /. 2.0 then
+              bad :=
+                fail "%s: %.3g cycles/s is >2x below baseline %.3g" name cps base_cps
+                || !bad
+          | _ -> ()))
+      (List.rev !timings);
+    if !bad then exit 1;
+    Printf.printf "[check] ok against %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, timing the piece of
@@ -133,7 +203,9 @@ let staged_controller () =
   (* fig11/fig14 backbone: a full monitored, translated, offloaded run. *)
   let mem = Main_memory.create () in
   let machine = Kernel.prepare nn_small mem in
-  ignore (Controller.run nn_small.Kernel.program machine)
+  let report = Controller.run nn_small.Kernel.program machine in
+  Hierarchy.release report.Controller.hier;
+  Main_memory.release mem
 
 let staged_modulo_schedule () =
   (* fig12: OpenCGRA's modulo scheduler. *)
@@ -165,7 +237,9 @@ let staged_engine () =
   let mem = Main_memory.create () in
   let machine = Kernel.prepare nn_small mem in
   let hier = Hierarchy.create Hierarchy.default_config in
-  ignore (Engine.execute ~config ~dfg ~machine ~hier ())
+  ignore (Engine.execute ~config ~dfg ~machine ~hier ());
+  Hierarchy.release hier;
+  Main_memory.release mem
 
 let staged_mapper () =
   (* Algorithm 1, the latency-minimizing instruction mapping (fig16 pays
@@ -231,23 +305,27 @@ let micro_benchmarks () =
   Tables.print t
 
 let () =
-  let rec parse_opts (csv_dir, jobs, json) = function
+  let rec parse_opts (csv_dir, jobs, json, check) = function
     | "--csv" :: dir :: rest ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      parse_opts (Some dir, jobs, json) rest
+      parse_opts (Some dir, jobs, json, check) rest
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
-      | Some j when j >= 1 -> parse_opts (csv_dir, Some j, json) rest
+      | Some j when j >= 1 -> parse_opts (csv_dir, Some j, json, check) rest
       | Some _ | None ->
         Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
         exit 1)
-    | "--json" :: path :: rest -> parse_opts (csv_dir, jobs, Some path) rest
-    | rest -> ((csv_dir, jobs, json), rest)
+    | "--json" :: path :: rest -> parse_opts (csv_dir, jobs, Some path, check) rest
+    | "--check" :: path :: rest -> parse_opts (csv_dir, jobs, json, Some path) rest
+    | rest -> ((csv_dir, jobs, json, check), rest)
   in
-  let (csv_dir, jobs, json), args =
-    parse_opts (None, None, None) (List.tl (Array.to_list Sys.argv))
+  let (csv_dir, jobs, json, check), args =
+    parse_opts (None, None, None, None) (List.tl (Array.to_list Sys.argv))
   in
-  let finish () = match json with Some path -> write_timings ~path ~jobs | None -> () in
+  let finish () =
+    (match json with Some path -> write_timings ~path ~jobs | None -> ());
+    match check with Some path -> check_against ~path | None -> ()
+  in
   match args with
   | [] ->
     List.iter (fun (name, f) -> run_experiment ?csv_dir ?jobs name f) experiments;

@@ -24,6 +24,24 @@ let grid_of = function
   | 512 -> Grid.m512
   | n -> Grid.of_pe_count n
 
+(* Engine selection rides on MESA_ENGINE (read per execution by
+   {!Engine.execute}), so one flag covers every run the subcommand makes —
+   including those behind the controller and the fuzzer. *)
+let engine_arg =
+  let doc =
+    "Accelerator engine: $(b,event) (wake-list scheduler, the default) or \
+     $(b,reference) (the legacy per-node scan, kept as a bit-identical \
+     oracle). Equivalent to setting MESA_ENGINE."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("event", "event"); ("reference", "reference") ])) None
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let set_engine = function
+  | None -> ()
+  | Some e -> Unix.putenv "MESA_ENGINE" e
+
 let find_kernel name =
   match Workloads.find name with
   | k -> Ok k
@@ -207,7 +225,8 @@ let run_cmd =
         (fun e -> `Msg ("bad --inject spec: " ^ e))
         (Result.map Option.some (Fault.spec_of_string ~seed:fault_seed s))
   in
-  let run name pes no_opt no_iter inject fault_seed stats_json trace_out =
+  let run name pes no_opt no_iter inject fault_seed stats_json trace_out engine =
+    set_engine engine;
     Result.bind (find_kernel name) (fun (k : Kernel.t) ->
         Result.bind (parse_inject fault_seed inject) (fun inject ->
         let grid = grid_of pes in
@@ -299,7 +318,7 @@ let run_cmd =
     Term.(
       term_result
         (const run $ kernel_arg $ grid_arg $ no_opt $ no_iter $ inject_arg
-       $ fault_seed $ stats_json $ trace_out))
+       $ fault_seed $ stats_json $ trace_out $ engine_arg))
 
 (* ---------------- profile ---------------- *)
 
@@ -851,7 +870,8 @@ let fuzz_cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Re-run one corpus entry instead of a campaign.")
   in
-  let run seed count jobs corpus max_shrink defect replay =
+  let run seed count jobs corpus max_shrink defect replay engine =
+    set_engine engine;
     let ( let* ) = Result.bind in
     let* defect =
       match defect with
@@ -931,7 +951,8 @@ let fuzz_cmd =
           automatic shrinking of failures to a minimal corpus")
     Term.(
       term_result
-        (const run $ seed $ count $ jobs $ corpus $ max_shrink $ defect $ replay))
+        (const run $ seed $ count $ jobs $ corpus $ max_shrink $ defect $ replay
+       $ engine_arg))
 
 let socket_arg =
   Arg.(

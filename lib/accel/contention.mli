@@ -22,6 +22,14 @@ val claim_slot : t -> float -> float * int
     of the issue cycle the claim took (0-based occupancy order) — the
     profiler uses it as a deterministic port index for timeline lanes. *)
 
+val claim_issue : t -> float -> float
+(** Allocation-free {!claim_slot}: returns the issue time and records the
+    sub-slot in {!last_slot} instead of building a pair — the event-driven
+    engine's hot-path entry point. *)
+
+val last_slot : t -> int
+(** Sub-slot taken by the most recent claim (0 before any claim). *)
+
 val claimed : t -> int
 (** Total operations booked. *)
 

@@ -22,7 +22,7 @@
     The loop runs until its backward branch falls through, like the
     hardware: MESA only regains control at loop exit. *)
 
-type detection = {
+type detection = Engine_core.detection = {
   d_kinds : Fault.kind list;  (** corruption kinds applied this window *)
   d_latency : int;
       (** cycles between the first applied corruption and the end of the
@@ -32,7 +32,7 @@ type detection = {
           off: the corrupted loop was spinning *)
 }
 
-type result = {
+type result = Engine_core.result = {
   cycles : int;                       (** makespan of the accelerated loop *)
   iterations : int;
   completed : bool;                   (** false when [stop_after] paused the
@@ -63,6 +63,7 @@ val execute :
   ?fault:Fault.t ->
   ?watchdog_window:int ->
   ?attribution:Attribution.t ->
+  ?engine:[ `Event | `Reference ] ->
   config:Accel_config.t ->
   dfg:Dfg.t ->
   machine:Machine.t ->
@@ -70,7 +71,17 @@ val execute :
   unit ->
   (result, string) Stdlib.result
 (** Run the loop whose live-ins are taken from [machine]'s current register
-    state. On success the machine holds the post-loop architectural state
+    state.
+
+    [engine] selects the implementation: [`Event] (default) is the
+    event-driven core — compiled static schedule, memoized steady-state
+    arrival folds, batched time jumps; [`Reference] is the legacy
+    node-scan oracle ({!Engine_reference}), kept for differential testing.
+    Both are bit-identical in every observable (cycles, memory, registers,
+    stats snapshots, attribution sums); the default can be overridden
+    per-process with the [MESA_ENGINE] environment variable
+    ([reference] / [event]), read at each call. Every successful execution
+    also adds its window's cycle count to {!Sim_meter}. On success the machine holds the post-loop architectural state
     (registers, PC at the loop's exit address) and [machine.mem] holds every
     store's effect. Fails (leaving partial memory effects) if the placement
     is invalid for the DFG. Exceeding [max_iterations] (default 4 million)

@@ -1,64 +1,15 @@
-(* The event-driven engine core.
+(* The legacy engine: every DFG node re-evaluated on every fabric
+   iteration, arrival folds recomputed from scratch each time. Kept verbatim
+   as the differential oracle for the event-driven engine in [Engine] — the
+   qcheck harness and `mesa_cli --engine reference` run both implementations
+   and assert bit-identical cycles, memory, registers, stats and attribution
+   sums. Not used on any production path; prefer [Engine.execute]. *)
 
-   The legacy engine ([Engine_reference]) re-derives everything on every
-   fabric iteration: it re-walks each node's dependence list through the
-   placement tables, re-folds arrival times from scratch, scans the
-   iteration's store list linearly on every access, and allocates closures
-   and pairs along the way. This implementation compiles the loop once and
-   then advances an event clock:
+open Engine_core
 
-   - the firing schedule is static — nodes are topologically indexed and a
-     node's wake condition is "all compiled in-edges done", so the wake list
-     is the node order itself and per-iteration work is driven entirely by
-     precompiled edge records (source, transfer latency, router slice,
-     cached histogram) instead of placement lookups;
-   - time advances in batched jumps: per-instance initiation clocks
-     ([inst_next]) jump by a whole II per iteration, and the contention
-     tables skip runs of full cycles via union-find pointers
-     ({!Contention.claim_issue}) rather than stepping cycle by cycle;
-   - steady-state arrival folds are memoized: a node whose guard status is
-     unchanged and whose producers' completion times did not move this
-     iteration replays its cached arrival instead of re-folding (memory and
-     NoC-fed nodes never replay — cache state and router claims are side
-     effects the replay must not skip);
-   - store-to-load disambiguation uses a word-indexed, generation-stamped
-     table reused across iterations instead of a per-iteration list scan.
-
-   Every observation hook fires exactly as in the reference engine — same
-   Stats observes with the same values in the same order, same Activity
-   counts, same Attribution charges, same fault strikes — so cycle counts,
-   memory checksums and profiler bucket sums are bit-identical to
-   [Engine_reference.execute]. The differential qcheck harness and
-   `mesa_cli --engine reference` enforce this. *)
-
-type detection = Engine_core.detection = {
-  d_kinds : Fault.kind list;
-  d_latency : int;
-  d_watchdog : bool;
-}
-
-type result = Engine_core.result = {
-  cycles : int;
-  iterations : int;
-  completed : bool;
-  budget_exhausted : bool;
-  fault : detection option;
-  exit_pc : int;
-  activity : Activity.t;
-  measured : Stats.snapshot;
-}
-
-exception Exec_fail = Engine_core.Exec_fail
-
-let u32 = Engine_core.u32
-let s32 = Engine_core.s32
-
-(* Fibonacci multiplicative hash for the store-disambiguation table. *)
-let[@inline] word_hash w mask = (w * 0x2545F4914F6CDD1D) land max_int land mask
-
-let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
-    ?(watchdog_window = 512) ?attribution ~(config : Accel_config.t)
-    ~(dfg : Dfg.t) ~(machine : Machine.t) ~(hier : Hierarchy.t) () =
+let execute ?(max_iterations = 4_000_000) ?stop_after ?fault ?(watchdog_window = 512)
+    ?attribution ~(config : Accel_config.t) ~(dfg : Dfg.t)
+    ~(machine : Machine.t) ~(hier : Hierarchy.t) () =
   match Placement.validate dfg config.placement with
   | Error e -> Error ("invalid placement: " ^ e)
   | Ok () -> (
@@ -68,23 +19,13 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
     let nodes = dfg.Dfg.nodes in
     let mem = machine.Machine.mem in
     let debug = Sys.getenv_opt "MESA_ENGINE_DEBUG" <> None in
-    (* ------------------------------------------------------------------
-       Compilation: static per-node tables, built once per execution. *)
+    (* Static per-node tables, hoisted out of the iteration loop: operation
+       class and fabric latency, guard predicates, and the arrival
+       dependencies (operand sources, hidden value, guards, memory-order
+       link — in exactly the order the arrival fold visits them). *)
     let cls_of = Array.map (fun nd -> Isa.op_class nd.Dfg.instr) nodes in
     let cls_lat = Array.map (fun cls -> float_of_int (Latency.accel cls)) cls_of in
     let guards_of = Array.map (fun nd -> Array.of_list nd.Dfg.guards) nodes in
-    let is_mem =
-      Array.map
-        (fun nd ->
-          match nd.Dfg.instr with
-          | Isa.Load _ | Isa.Flw _ | Isa.Store _ | Isa.Fsw _ -> true
-          | _ -> false)
-        nodes
-    in
-    (* Compiled in-edges, in exactly the order the reference engine's
-       arrival fold visits them: operand sources, hidden value, guards,
-       memory-order link. Each edge carries its source node, the static
-       transfer latency, and its router slice (-1 = PE-local). *)
     let deps_of =
       Array.map
         (fun nd ->
@@ -101,34 +42,9 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
           Array.of_list (List.rev !ds))
         nodes
     in
-    let ebase =
-      Array.mapi
-        (fun j deps ->
-          Array.map (fun i -> float_of_int (Placement.transfer pl i j)) deps)
-        deps_of
-    in
-    let eslice =
-      Array.mapi
-        (fun j deps ->
-          Array.map
-            (fun i ->
-              match Placement.route pl i j with
-              | Interconnect.Local -> -1
-              | Interconnect.Noc ->
-                Interconnect.noc_slice grid (Placement.coord_of pl i))
-            deps)
-        deps_of
-    in
-    let has_noc =
-      Array.map (fun slices -> Array.exists (fun s -> s >= 0) slices) eslice
-    in
-    (* Lazily-created edge histograms, cached per compiled edge. Creation
-       still goes through the shared find-or-create path so first-use
-       registration order (and thus snapshot ordering) matches the
-       reference engine exactly, including dynamic alias edges. *)
-    let ehist = Array.map (fun deps -> Array.make (Array.length deps) None) deps_of in
-    (* Cycle attribution: pure observation — charging never feeds back into
-       timing, so a profiled run is bit-identical to an unprofiled one. *)
+    (* Cycle attribution (the `mesa profile` collector): pure observation —
+       charging never feeds back into any timing computation, so a profiled
+       run is bit-identical to an unprofiled one. *)
     let prof = Option.is_some attribution in
     let lane_of =
       match attribution with
@@ -141,12 +57,14 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
     in
     let live_out_x = Array.of_list dfg.Dfg.live_out_x in
     let live_out_f = Array.of_list dfg.Dfg.live_out_f in
+    (* Loop-carried producers bound the pipelined initiation interval. *)
     let carried_nodes =
       Dfg.loop_carried dfg
       |> List.filter_map (fun (_, _, src) ->
              match src with Dfg.Node p -> Some p | Dfg.Reg_in _ -> None)
       |> Array.of_list
     in
+    (* Optimization lookup tables. *)
     let forwarded = Array.make n false in
     List.iter (fun (load, _) -> forwarded.(load) <- true) config.forwarding;
     let vector_member = Array.make n false in
@@ -157,10 +75,15 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
       config.vector_groups;
     let prefetched = Array.make n false in
     List.iter (fun l -> prefetched.(l) <- true) config.prefetched;
+    (* Values: one slot per node, in the file its destination lives in. *)
     let vx = Array.make n 0 in
     let vf = Array.make n 0.0 in
     let in_x = Array.init Reg.count (Machine.get_x machine) in
     let in_f = Array.init Reg.count (Machine.get_f machine) in
+    (* Fault bookkeeping: PE coordinate per node (LS entries are not fault
+       targets) and the effective cache-port count after degradation. Port
+       loss is sampled at window start; a mid-window ports event takes
+       effect from the next window. *)
     let pe_coord =
       Array.init n (fun i ->
           match Placement.loc_of pl i with
@@ -176,12 +99,8 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
       let lost = match fault with Some f -> Fault.ports_lost f | None -> 0 in
       max 1 (grid.Grid.mem_ports - lost)
     in
-    (* Timing state. [completes] doubles as the arrival-fold memo: a node
-       replays when no producer's entry moved this iteration. *)
+    (* Timing state. *)
     let completes = Array.make n 0.0 in
-    let changed = Array.make n false in
-    let arr_cache = Array.make n 0.0 in
-    let dis_prev = Array.make n false in
     let acquired = ref [] in
     let acquire ~capacity =
       let c =
@@ -196,6 +115,9 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
     in
     let ports = acquire ~capacity:effective_ports in
     let tiling = max 1 config.tiling in
+    (* Tiled instances occupy disjoint physical regions, so each gets its
+       own router slices; slot [inst * nslices + slice] serves (instance,
+       slice). Slices are claimed lazily — most stay unused. *)
     let nslices = Interconnect.slices grid in
     let noc : Contention.t option array = Array.make (tiling * nslices) None in
     let noc_slot inst slice =
@@ -208,47 +130,9 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
         c
     in
     let inst_next = Array.make tiling 0.0 in
-    (* Word-indexed store-to-load disambiguation table (replaces the
-       reference engine's per-iteration association list). Generation
-       stamps make clearing an O(1) counter bump; slots only fill within a
-       generation, so linear probing needs no tombstones. Newest store to a
-       word wins, as in the list's newest-first scan. *)
-    let st_size =
-      let stores =
-        Array.fold_left
-          (fun acc nd -> if Isa.is_store nd.Dfg.instr then acc + 1 else acc)
-          0 nodes
-      in
-      let rec pow2 s = if s >= max 8 (4 * stores) then s else pow2 (s * 2) in
-      pow2 8
-    in
-    let st_mask = st_size - 1 in
-    let st_gen = Array.make st_size 0 in
-    let st_word = Array.make st_size 0 in
-    let st_node = Array.make st_size 0 in
-    let cur_gen = ref 0 in
-    let store_record j addr =
-      let w = addr lsr 2 in
-      let i = ref (word_hash w st_mask) in
-      while st_gen.(!i) = !cur_gen && st_word.(!i) <> w do
-        i := (!i + 1) land st_mask
-      done;
-      st_gen.(!i) <- !cur_gen;
-      st_word.(!i) <- w;
-      st_node.(!i) <- j
-    in
-    (* Index of the newest same-word store this iteration, or -1. *)
-    let store_lookup addr =
-      let w = addr lsr 2 in
-      let i = ref (word_hash w st_mask) in
-      while st_gen.(!i) = !cur_gen && st_word.(!i) <> w do
-        i := (!i + 1) land st_mask
-      done;
-      if st_gen.(!i) = !cur_gen then st_node.(!i) else -1
-    in
-    (* Measurements: creation order below matches the reference engine
-       statement for statement — registry order is snapshot order and the
-       golden JSONs pin it. *)
+    (* Measurements: one fresh registry per profiling window, snapshotted
+       into the result. The hardware counters the optimizer reads (§5.2)
+       live here; arrays/hashtable keep the hot-loop path at one observe. *)
     let reg = Stats.registry () in
     let node_grp = Stats.group reg "node" in
     let node_subgrps = Array.init n (fun i -> Stats.subgroup node_grp (string_of_int i)) in
@@ -274,60 +158,63 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
       | Dfg.Reg_in (r, Dfg.X) ->
         raise (Exec_fail (Printf.sprintf "FP read of int live-in %s" (Reg.name r)))
     in
-    (* Find-or-create an edge histogram; shared by compiled edges (which
-       then cache the result) and dynamic alias edges. *)
-    let edge_hist i j =
-      match Hashtbl.find_opt edge_lat (i, j) with
-      | Some h -> h
-      | None ->
-        let sub =
-          match Hashtbl.find_opt edge_subgrps i with
-          | Some g -> g
-          | None ->
-            let g = Stats.subgroup edge_grp (string_of_int i) in
-            Hashtbl.add edge_subgrps i g;
-            g
-        in
-        let h = Stats.histogram sub (string_of_int j) in
-        Hashtbl.add edge_lat (i, j) h;
-        h
+    let record_edge i j lat =
+      let h =
+        match Hashtbl.find_opt edge_lat (i, j) with
+        | Some h -> h
+        | None ->
+          let sub =
+            match Hashtbl.find_opt edge_subgrps i with
+            | Some g -> g
+            | None ->
+              let g = Stats.subgroup edge_grp (string_of_int i) in
+              Hashtbl.add edge_subgrps i g;
+              g
+          in
+          let h = Stats.histogram sub (string_of_int j) in
+          Hashtbl.add edge_lat (i, j) h;
+          h
+      in
+      Stats.observe h lat
     in
-    (* Per-iteration cursor state, hoisted so the hot closures below are
-       built once per execution rather than once per node firing. *)
-    let cur_inst = ref 0 in
-    let cur_start = ref 0.0 in
-    let arrival = ref 0.0 in
-    let arr_nonoc = ref 0.0 in
-    let mem_accesses = ref 0 in
-    let fu_bound = ref 1.0 in
-    (* Dynamic (alias) dependence: a load waiting on a same-word store
-       discovered this iteration. Rare — takes the uncompiled path through
-       the placement tables, exactly like the reference engine's [dep]. *)
-    let dep_dyn i j =
+    (* One data/control transfer from node [i] to node [j], with NoC
+       contention applied at the producer's router slice. [last_noc_queue]
+       lets the profiler split arrival gaps into NoC vs dependence wait. *)
+    let last_noc_queue = ref 0.0 in
+    let transfer_in inst iter_start i j =
       let base = float_of_int (Placement.transfer pl i j) in
       match Placement.route pl i j with
       | Interconnect.Local ->
         act.Activity.local_transfers <- act.Activity.local_transfers + 1;
-        Stats.observe (edge_hist i j) base;
-        arrival := Float.max !arrival (completes.(i) +. base);
-        if prof then arr_nonoc := Float.max !arr_nonoc (completes.(i) +. base)
+        last_noc_queue := 0.0;
+        record_edge i j base;
+        base
       | Interconnect.Noc ->
         let slice = Interconnect.noc_slice grid (Placement.coord_of pl i) in
-        let abs_out = !cur_start +. completes.(i) in
-        let inject = Contention.claim (noc_slot !cur_inst slice) abs_out in
+        let abs_out = iter_start +. completes.(i) in
+        let inject = Contention.claim (noc_slot inst slice) abs_out in
         act.Activity.noc_transfers <- act.Activity.noc_transfers + 1;
         Stats.observe noc_queue (inject -. abs_out);
+        last_noc_queue := inject -. abs_out;
         let lat = base +. (inject -. abs_out) in
-        Stats.observe (edge_hist i j) lat;
-        arrival := Float.max !arrival (completes.(i) +. lat);
-        if prof then arr_nonoc := Float.max !arr_nonoc (completes.(i) +. base)
+        record_edge i j lat;
+        lat
     in
+    (* Claim a memory port: returns queuing delay given absolute readiness.
+       [last_port_slot] records which sub-slot of the issue cycle was taken
+       — the profiler's deterministic port-lane index. *)
+    let last_port_slot = ref 0 in
     let claim_port abs_ready =
-      let issue = Contention.claim_issue ports abs_ready in
+      let issue, slot = Contention.claim_slot ports abs_ready in
       let delay = issue -. abs_ready in
+      last_port_slot := slot;
       Stats.observe port_queue delay;
       delay
     in
+    (* Corrupt node [j]'s output latch: stuck-at [value] for permanent
+       damage, xor-flip for a transient strike. Branch latches stick at /
+       flip toward "taken" so a damaged back branch spins (the watchdog
+       scenario). Returns whether the latched value actually changed. *)
     let corrupt_latch j ~value ~stuck =
       let nd = nodes.(j) in
       if cls_of.(j) = Isa.C_branch then begin
@@ -357,109 +244,41 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
       let watchdog_fired = ref false in
       let first_corrupt = ref None in
       let corrupt_iters = ref 0 in
+      (* Stores observed so far in the current iteration, newest first. *)
+      let iter_stores = ref [] in
       while not !exit_reached do
         let inst = !iterations mod tiling in
         let iter_start = inst_next.(inst) in
-        cur_inst := inst;
-        cur_start := iter_start;
-        incr cur_gen;
+        iter_stores := [];
         let strikes =
           match fault with None -> [] | Some f -> (Fault.tick f).Fault.strikes
         in
-        let first = !iterations = 0 in
-        fu_bound := 1.0;
-        mem_accesses := 0;
+        (* Iterative (non-pipelined) units bound reuse of their PE; all other
+           PEs are internally pipelined. *)
+        let fu_bound = ref 1.0 in
+        let mem_accesses = ref 0 in
         for j = 0 to n - 1 do
           let nd = nodes.(j) in
           let cls = cls_of.(j) in
           (* Guard evaluation: a branch node's value is 1 when taken. *)
-          let gs = guards_of.(j) in
-          let ng = Array.length gs in
           let disabled =
-            if ng = 0 then false
-            else begin
-              let d = ref false in
-              let k = ref 0 in
-              while (not !d) && !k < ng do
-                let b, dis = gs.(!k) in
-                if (vx.(b) <> 0) = dis then d := true;
-                incr k
-              done;
-              !d
-            end
+            Array.exists (fun (b, dis) -> (vx.(b) <> 0) = dis) guards_of.(j)
+          in
+          (* Arrival of inputs (Equation 2, with contention). [arr_nonoc]
+             shadows the arrival fold with NoC queueing deducted; the
+             difference is the profiler's NoC-stall share of the gap. *)
+          let arrival = ref 0.0 in
+          let arr_nonoc = ref 0.0 in
+          let dep i =
+            let lat = transfer_in inst iter_start i j in
+            arrival := Float.max !arrival (completes.(i) +. lat);
+            if prof then
+              arr_nonoc := Float.max !arr_nonoc (completes.(i) +. lat -. !last_noc_queue)
           in
           let deps = deps_of.(j) in
-          let ndeps = Array.length deps in
-          let bases = ebase.(j) in
-          let hists = ehist.(j) in
-          (* Replay decision: the arrival fold is pure arithmetic over the
-             producers' completion times and static transfer latencies, so
-             it can be replayed from [arr_cache] when none of them moved.
-             Memory nodes (stateful hierarchy + port claims), NoC-fed nodes
-             (router-slice claims) and guard flips always recompute. *)
-          let dirty =
-            first || is_mem.(j) || has_noc.(j) || disabled <> dis_prev.(j)
-            ||
-            let d = ref false in
-            let k = ref 0 in
-            while (not !d) && !k < ndeps do
-              if changed.(deps.(!k)) then d := true;
-              incr k
-            done;
-            !d
-          in
-          if dirty then begin
-            (* Arrival of inputs (Equation 2, with contention). [arr_nonoc]
-               shadows the fold with NoC queueing deducted — the profiler's
-               NoC-stall share of the arrival gap. *)
-            arrival := 0.0;
-            arr_nonoc := 0.0;
-            let slices = eslice.(j) in
-            for d = 0 to ndeps - 1 do
-              let i = deps.(d) in
-              let base = bases.(d) in
-              let slice = slices.(d) in
-              let lat =
-                if slice < 0 then begin
-                  act.Activity.local_transfers <- act.Activity.local_transfers + 1;
-                  if prof then
-                    arr_nonoc := Float.max !arr_nonoc (completes.(i) +. base);
-                  base
-                end
-                else begin
-                  let abs_out = iter_start +. completes.(i) in
-                  let inject = Contention.claim (noc_slot inst slice) abs_out in
-                  act.Activity.noc_transfers <- act.Activity.noc_transfers + 1;
-                  Stats.observe noc_queue (inject -. abs_out);
-                  if prof then
-                    arr_nonoc := Float.max !arr_nonoc (completes.(i) +. base);
-                  base +. (inject -. abs_out)
-                end
-              in
-              (match hists.(d) with
-              | Some h -> Stats.observe h lat
-              | None ->
-                let h = edge_hist i j in
-                hists.(d) <- Some h;
-                Stats.observe h lat);
-              arrival := Float.max !arrival (completes.(i) +. lat)
-            done
-          end
-          else begin
-            (* Replay: same edge observations (all PE-local, static
-               latency), memoized fold result. *)
-            act.Activity.local_transfers <- act.Activity.local_transfers + ndeps;
-            for d = 0 to ndeps - 1 do
-              match hists.(d) with
-              | Some h -> Stats.observe h bases.(d)
-              | None ->
-                let h = edge_hist deps.(d) j in
-                hists.(d) <- Some h;
-                Stats.observe h bases.(d)
-            done;
-            arrival := arr_cache.(j);
-            if prof then arr_nonoc := !arrival
-          end;
+          for d = 0 to Array.length deps - 1 do
+            dep deps.(d)
+          done;
           (* Functional execution + operation latency. *)
           let oplat = ref 1.0 in
           let pq = ref 0.0 in
@@ -481,10 +300,11 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
               act.Activity.mem_ops <- act.Activity.mem_ops + 1;
               (* Dynamic disambiguation: an aliasing earlier store forwards
                  through the LSU broadcast; wait for it. *)
-              if load then begin
-                let s = store_lookup addr in
-                if s >= 0 then dep_dyn s j
-              end;
+              (match
+                 List.find_opt (fun (_, a) -> a lsr 2 = addr lsr 2) !iter_stores
+               with
+              | Some (s, _) when load -> dep s
+              | Some _ | None -> ());
               if load && forwarded.(j) then begin
                 act.Activity.forwarded_loads <- act.Activity.forwarded_loads + 1;
                 oplat := 2.0
@@ -507,7 +327,7 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
                 pq := queue;
                 match attribution with
                 | Some a ->
-                  Attribution.note_port_access a ~port:(Contention.last_slot ports)
+                  Attribution.note_port_access a ~port:!last_port_slot
                     ~issue:(iter_start +. !arrival +. queue)
                     ~service:(lat -. queue)
                 | None -> ()
@@ -551,12 +371,12 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
               | SB -> Main_memory.store_byte mem addr v
               | SH -> Main_memory.store_half mem addr v
               | SW -> Main_memory.store_word mem addr v);
-              store_record j addr;
+              iter_stores := (j, addr) :: !iter_stores;
               mem_access ~load:false ~addr
             | Isa.Fsw (_, _, off) ->
               let addr = u32 (val_i nd.Dfg.srcs.(1) + off) in
               Main_memory.store_float32 mem addr (val_f nd.Dfg.srcs.(0));
-              store_record j addr;
+              iter_stores := (j, addr) :: !iter_stores;
               mem_access ~load:false ~addr
             | Isa.Branch (op, _, _, _) ->
               act.Activity.branch_ops <- act.Activity.branch_ops + 1;
@@ -601,11 +421,7 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
           (match cls with
           | Isa.C_div | Isa.C_fdiv -> fu_bound := Float.max !fu_bound !oplat
           | _ -> ());
-          let comp = !arrival +. !oplat in
-          changed.(j) <- comp <> completes.(j);
-          completes.(j) <- comp;
-          arr_cache.(j) <- !arrival;
-          dis_prev.(j) <- disabled;
+          completes.(j) <- !arrival +. !oplat;
           (match attribution with
           | Some a ->
             Attribution.charge_op a ~lane:lane_of.(j)
@@ -647,29 +463,23 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
         end_time := Float.max !end_time (iter_start +. iter_latency);
         let continue_loop = vx.(dfg.Dfg.back_branch) <> 0 in
         (* Next iteration's live-ins are this iteration's live-outs. *)
-        for k = 0 to Array.length live_out_x - 1 do
-          let r, src = live_out_x.(k) in
-          if r <> 0 then in_x.(r) <- val_i src
-        done;
-        for k = 0 to Array.length live_out_f - 1 do
-          let r, src = live_out_f.(k) in
-          in_f.(r) <- val_f src
-        done;
-        (* Initiation of this instance's next iteration: the event clock
-           jumps a whole II at once. *)
+        Array.iter (fun (r, src) -> if r <> 0 then in_x.(r) <- val_i src) live_out_x;
+        Array.iter (fun (r, src) -> in_f.(r) <- val_f src) live_out_f;
+        (* Initiation of this instance's next iteration. *)
         (if config.pipelined then begin
-           let ii_rec = ref 1.0 in
-           for k = 0 to Array.length carried_nodes - 1 do
-             ii_rec := Float.max !ii_rec completes.(carried_nodes.(k))
-           done;
+           let ii_rec =
+             Array.fold_left
+               (fun acc p -> Float.max acc completes.(p))
+               1.0 carried_nodes
+           in
            let ii_mem =
              float_of_int (Stats.div_ceil !mem_accesses effective_ports)
            in
-           let ii = Float.max (Float.max !ii_rec ii_mem) !fu_bound in
+           let ii = Float.max (Float.max ii_rec ii_mem) !fu_bound in
            Stats.observe ii_achieved ii;
            (match attribution with
            | Some a ->
-             Attribution.observe_ii a ~rec_:!ii_rec ~mem:ii_mem ~fu:!fu_bound
+             Attribution.observe_ii a ~rec_:ii_rec ~mem:ii_mem ~fu:!fu_bound
                ~achieved:ii
            | None -> ());
            inst_next.(inst) <- iter_start +. ii
@@ -757,28 +567,3 @@ let execute_event ?(max_iterations = 4_000_000) ?stop_after ?fault
     Fun.protect
       ~finally:(fun () -> Engine_core.scratch_park !acquired)
       (fun () -> try Ok (run ()) with Exec_fail msg -> Error msg))
-
-(* Engine selection: the event-driven core unless the caller (or the
-   MESA_ENGINE environment variable, checked per call so CLI flags can set
-   it) asks for the legacy reference oracle. *)
-let engine_of_env () =
-  match Sys.getenv_opt "MESA_ENGINE" with
-  | Some "reference" -> `Reference
-  | Some _ | None -> `Event
-
-let execute ?max_iterations ?stop_after ?fault ?watchdog_window ?attribution
-    ?engine ~config ~dfg ~machine ~hier () =
-  let engine =
-    match engine with Some e -> e | None -> engine_of_env ()
-  in
-  let r =
-    match engine with
-    | `Event ->
-      execute_event ?max_iterations ?stop_after ?fault ?watchdog_window
-        ?attribution ~config ~dfg ~machine ~hier ()
-    | `Reference ->
-      Engine_reference.execute ?max_iterations ?stop_after ?fault
-        ?watchdog_window ?attribution ~config ~dfg ~machine ~hier ()
-  in
-  (match r with Ok res -> Sim_meter.add res.cycles | Error _ -> ());
-  r

@@ -84,6 +84,7 @@ type t = {
   sd : int;
   prng : Prng.t;
   mutable pending : event list;        (* iteration-indexed events *)
+  mutable next_due : int;              (* earliest pending fire point *)
   mutable config_pending : int list;   (* config-write ordinals *)
   mutable iteration : int;
   mutable config_writes : int;
@@ -94,6 +95,9 @@ type t = {
   mutable window_kinds : kind list;
 }
 
+let earliest events =
+  List.fold_left (fun acc ev -> min acc ev.at) max_int events
+
 let create ~grid sp =
   let iter_events, config_ords =
     List.partition (fun ev -> ev.kind <> Config_upset) sp.events
@@ -103,6 +107,7 @@ let create ~grid sp =
     sd = sp.seed;
     prng = Prng.create sp.seed;
     pending = iter_events;
+    next_due = earliest iter_events;
     config_pending = List.map (fun ev -> ev.at) config_ords;
     iteration = 0;
     config_writes = 0;
@@ -155,11 +160,21 @@ let kill t coord kind =
   if not (is_dead t coord) then
     t.dead <- (coord, kind, draw_value t) :: t.dead
 
+(* Shared idle step: the engine ticks the injector every iteration, and on
+   almost all of them nothing is due — return a preallocated step instead of
+   partitioning the pending list (and allocating two) each time. The
+   [next_due] watermark is what lets the event-driven engine's batched time
+   jumps stride over quiet iterations at constant cost. *)
+let empty_step = { strikes = []; fabric_changed = false }
+
 let tick t =
   let now = t.iteration in
   t.iteration <- now + 1;
+  if now < t.next_due then empty_step
+  else begin
   let due, rest = List.partition (fun ev -> ev.at <= now) t.pending in
   t.pending <- rest;
+  t.next_due <- earliest rest;
   let strikes = ref [] in
   let fabric_changed = ref false in
   List.iter
@@ -190,6 +205,7 @@ let tick t =
       | Config_upset -> ())
     due;
   { strikes = !strikes; fabric_changed = !fabric_changed }
+  end
 
 let config_write t =
   t.config_writes <- t.config_writes + 1;

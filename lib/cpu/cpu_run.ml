@@ -1,16 +1,23 @@
 type result = { halt : Interp.halt; summary : Ooo_model.summary }
 
 let run ?max_steps ?(config = Ooo_model.default_config) ?hierarchy prog machine =
-  let hierarchy =
+  let owned, hierarchy =
     match hierarchy with
-    | Some h -> h
-    | None -> Hierarchy.create Hierarchy.default_config
+    | Some h -> (None, h)
+    | None ->
+      let h = Hierarchy.create Hierarchy.default_config in
+      (Some h, h)
   in
   let model = Ooo_model.create config hierarchy in
   let halt, _retired =
     Interp.run ?max_steps ~on_event:(Ooo_model.feed model) prog machine
   in
-  { halt; summary = Ooo_model.summary model }
+  let r = { halt; summary = Ooo_model.summary model } in
+  (* The summary is plain counters: a hierarchy we created is fully
+     consumed and can be recycled. *)
+  Option.iter Hierarchy.release owned;
+  Sim_meter.add r.summary.Ooo_model.cycles;
+  r
 
 let cycles r = r.summary.Ooo_model.cycles
 let ipc r = Ooo_model.ipc r.summary

@@ -583,7 +583,9 @@ let check spec mem =
           (want.(!bad) land 0xFFFFFFFF)
       else arrays_ok rest
   in
-  arrays_ok spec.arrays
+  let out = arrays_ok spec.arrays in
+  Main_memory.release ref_mem;
+  out
 
 (* -------------------- printing -------------------- *)
 

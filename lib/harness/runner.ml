@@ -21,13 +21,17 @@ let single_core (k : Kernel.t) =
   k.Kernel.setup mem;
   let machine = Kernel.prepare_slice k mem ~lo:0 ~hi:k.Kernel.n in
   let r = Cpu_run.run k.Kernel.program machine in
-  {
-    label = "1-core OoO";
-    cycles = r.Cpu_run.summary.Ooo_model.cycles;
-    energy_nj = Energy_model.cpu_energy_nj r.Cpu_run.summary;
-    checked = k.Kernel.check mem;
-    stats = summary_snapshot r.Cpu_run.summary;
-  }
+  let m =
+    {
+      label = "1-core OoO";
+      cycles = r.Cpu_run.summary.Ooo_model.cycles;
+      energy_nj = Energy_model.cpu_energy_nj r.Cpu_run.summary;
+      checked = k.Kernel.check mem;
+      stats = summary_snapshot r.Cpu_run.summary;
+    }
+  in
+  Main_memory.release mem;
+  m
 
 let multicore ?(cores = 16) (k : Kernel.t) =
   let mem = Main_memory.create () in
@@ -43,13 +47,17 @@ let multicore ?(cores = 16) (k : Kernel.t) =
       r.Multicore.summaries;
     Stats.snapshot reg
   in
-  {
-    label = Printf.sprintf "%d-core OoO" cores;
-    cycles = r.Multicore.cycles;
-    energy_nj = Energy_model.multicore_energy_nj r.Multicore.summaries;
-    checked = k.Kernel.check mem;
-    stats;
-  }
+  let m =
+    {
+      label = Printf.sprintf "%d-core OoO" cores;
+      cycles = r.Multicore.cycles;
+      energy_nj = Energy_model.multicore_energy_nj r.Multicore.summaries;
+      checked = k.Kernel.check mem;
+      stats;
+    }
+  in
+  Main_memory.release mem;
+  m
 
 let mesa ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true) ?mem_ports
     ?inject ?profile (k : Kernel.t) =
@@ -68,14 +76,24 @@ let mesa ?(grid = Grid.m128) ?(optimize = true) ?(iterative = true) ?mem_ports
     +. accel.Energy_model.total_nj
     +. Energy_model.mesa_energy_nj ~busy_cycles:report.Controller.mesa_busy_cycles
   in
-  ( {
+  let m =
+    {
       label = grid.Grid.name;
       cycles = report.Controller.total_cycles;
       energy_nj;
       checked = k.Kernel.check mem;
       stats = report.Controller.stats;
-    },
-    report )
+    }
+  in
+  Main_memory.release mem;
+  (m, report)
+
+(* [mesa] for callers that drop the report: the report's hierarchy is
+   recycled before returning, which keeps sweep loops off the allocator. *)
+let mesa_measure ?grid ?optimize ?iterative ?mem_ports ?inject ?profile k =
+  let m, report = mesa ?grid ?optimize ?iterative ?mem_ports ?inject ?profile k in
+  Hierarchy.release report.Controller.hier;
+  m
 
 (* ------------------------------------------------------------------ *)
 (* Translation memo. Building a kernel's hot-loop LDFG and running
@@ -219,6 +237,7 @@ let dynaspam ?(config = Dynaspam.default_config) (k : Kernel.t) =
     let machine = Kernel.prepare_slice k mem ~lo:0 ~hi:k.Kernel.n in
     let hier = Hierarchy.create Hierarchy.default_config in
     let r = Cpu_run.run ~config:fabric_cpu ~hierarchy:hier k.Kernel.program machine in
+    Hierarchy.release hier;
     let cycles = r.Cpu_run.summary.Ooo_model.cycles + 300 in
     let energy_nj =
       (* Same dynamic work minus the frontend/rename share, plus static
@@ -226,11 +245,15 @@ let dynaspam ?(config = Dynaspam.default_config) (k : Kernel.t) =
       (float_of_int cycles *. 0.175)
       +. ((base.energy_nj -. (float_of_int base.cycles *. 0.175)) *. 0.6)
     in
-    {
-      label = "DynaSpAM";
-      cycles;
-      energy_nj;
-      checked = k.Kernel.check mem;
-      stats = summary_snapshot r.Cpu_run.summary;
-    }
+    let m =
+      {
+        label = "DynaSpAM";
+        cycles;
+        energy_nj;
+        checked = k.Kernel.check mem;
+        stats = summary_snapshot r.Cpu_run.summary;
+      }
+    in
+    Main_memory.release mem;
+    m
   end

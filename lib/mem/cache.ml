@@ -19,11 +19,17 @@ let config ~size_bytes ~ways ~line_bytes ~hit_latency =
 
 type outcome = Hit | Miss of { dirty_eviction : bool }
 
-type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable lru : int }
-
+(* Lines live in flat structure-of-arrays storage indexed by
+   [set * ways + way] — a large L2 is three int arrays instead of hundreds
+   of thousands of little heap records, so creating (and recycling) a
+   hierarchy per measurement is cheap and lookups walk contiguous memory.
+   [meta] packs the valid (bit 0) and dirty (bit 1) flags, which makes
+   {!invalidate_all} a single fill. *)
 type t = {
   cfg : config;
-  sets : line array array; (* sets.(set).(way) *)
+  tags : int array;
+  meta : int array;
+  lru : int array;
   set_mask : int;
   line_shift : int;
   mutable clock : int;
@@ -34,76 +40,77 @@ type t = {
 
 let create cfg =
   let nsets = cfg.size_bytes / (cfg.ways * cfg.line_bytes) in
+  let nlines = nsets * cfg.ways in
   let line_shift =
     let rec go n acc = if n = 1 then acc else go (n lsr 1) (acc + 1) in
     go cfg.line_bytes 0
   in
-  let sets =
-    Array.init nsets (fun _ ->
-        Array.init cfg.ways (fun _ -> { tag = 0; valid = false; dirty = false; lru = 0 }))
-  in
-  { cfg; sets; set_mask = nsets - 1; line_shift; clock = 0; hits = 0; misses = 0; writebacks = 0 }
+  {
+    cfg;
+    tags = Array.make nlines 0;
+    meta = Array.make nlines 0;
+    lru = Array.make nlines 0;
+    set_mask = nsets - 1;
+    line_shift;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
 
 let geometry t = t.cfg
 
-let locate t addr =
-  let line_addr = addr lsr t.line_shift in
-  let set = line_addr land t.set_mask in
-  let tag = line_addr lsr 0 in
-  (t.sets.(set), tag)
-
-let find_way ways tag =
+(* First way holding a valid line with this tag, or -1. [base] is the
+   set's first line index. *)
+let find_way t base tag =
+  let ways = t.cfg.ways in
   let rec go i =
-    if i = Array.length ways then None
-    else if ways.(i).valid && ways.(i).tag = tag then Some ways.(i)
+    if i = ways then -1
+    else if t.meta.(base + i) land 1 <> 0 && t.tags.(base + i) = tag then base + i
     else go (i + 1)
   in
   go 0
 
 let access t addr ~write =
   t.clock <- t.clock + 1;
-  let ways, tag = locate t addr in
-  match find_way ways tag with
-  | Some line ->
+  let line_addr = addr lsr t.line_shift in
+  let set = line_addr land t.set_mask in
+  let tag = line_addr in
+  let base = set * t.cfg.ways in
+  let i = find_way t base tag in
+  if i >= 0 then begin
     t.hits <- t.hits + 1;
-    line.lru <- t.clock;
-    if write then line.dirty <- true;
+    t.lru.(i) <- t.clock;
+    if write then t.meta.(i) <- t.meta.(i) lor 2;
     Hit
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
-    (* Choose an invalid way if any, else the LRU way. *)
-    let victim =
-      let best = ref ways.(0) in
-      Array.iter
-        (fun line ->
-          if not line.valid then begin
-            if !best.valid then best := line
-          end
-          else if !best.valid && line.lru < !best.lru then best := line)
-        ways;
-      !best
-    in
-    let dirty_eviction = victim.valid && victim.dirty in
+    (* Choose an invalid way if any, else the LRU way (first strict minimum
+       in way order — the same victim the line-record implementation
+       picked). *)
+    let best = ref base in
+    for k = base to base + t.cfg.ways - 1 do
+      if t.meta.(k) land 1 = 0 then begin
+        if t.meta.(!best) land 1 <> 0 then best := k
+      end
+      else if t.meta.(!best) land 1 <> 0 && t.lru.(k) < t.lru.(!best) then best := k
+    done;
+    let v = !best in
+    let dirty_eviction = t.meta.(v) land 3 = 3 in
     if dirty_eviction then t.writebacks <- t.writebacks + 1;
-    victim.tag <- tag;
-    victim.valid <- true;
-    victim.dirty <- write;
-    victim.lru <- t.clock;
+    t.tags.(v) <- tag;
+    t.meta.(v) <- (if write then 3 else 1);
+    t.lru.(v) <- t.clock;
     Miss { dirty_eviction }
+  end
 
 let probe t addr =
-  let ways, tag = locate t addr in
-  Option.is_some (find_way ways tag)
+  let line_addr = addr lsr t.line_shift in
+  let set = line_addr land t.set_mask in
+  find_way t (set * t.cfg.ways) line_addr >= 0
 
-let invalidate_all t =
-  Array.iter
-    (fun ways ->
-      Array.iter
-        (fun line ->
-          line.valid <- false;
-          line.dirty <- false)
-        ways)
-    t.sets
+let invalidate_all t = Array.fill t.meta 0 (Array.length t.meta) 0
 
 let hits t = t.hits
 let misses t = t.misses
@@ -118,6 +125,11 @@ let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
   t.writebacks <- 0
+
+let reset t =
+  invalidate_all t;
+  reset_stats t;
+  t.clock <- 0
 
 let register_stats t grp =
   Stats.int_probe grp "hits" (fun () -> t.hits);

@@ -12,7 +12,16 @@ type t
 
 val create : ?size:int -> unit -> t
 (** [create ~size ()] allocates [size] bytes of zeroed memory (default
-    16 MiB). *)
+    16 MiB). Reuses a buffer parked by {!release} when one of the exact size
+    is available — re-zeroed, so indistinguishable from a fresh
+    allocation. *)
+
+val release : t -> unit
+(** Park [t]'s backing buffer for reuse by a later {!create} of the same
+    size (any domain). The caller promises not to touch [t] afterwards —
+    harness hot paths call this after a measurement's memory is fully
+    consumed; ordinary callers may simply drop memories and let the GC
+    collect them. *)
 
 val size : t -> int
 

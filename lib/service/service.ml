@@ -222,7 +222,10 @@ let fabric_exec t (k : Kernel.t) shard inject ~rerouted ~retries =
       latency_ms = 0.0;
     }
   in
-  (body, quarantines, k.Kernel.check mem)
+  let verdict = k.Kernel.check mem in
+  Hierarchy.release report.Controller.hier;
+  Main_memory.release mem;
+  (body, quarantines, verdict)
 
 let cpu_exec (k : Kernel.t) ~rerouted ~retries =
   let mem = Main_memory.create () in
@@ -243,7 +246,9 @@ let cpu_exec (k : Kernel.t) ~rerouted ~retries =
       latency_ms = 0.0;
     }
   in
-  (body, k.Kernel.check mem)
+  let verdict = k.Kernel.check mem in
+  Main_memory.release mem;
+  (body, verdict)
 
 let err kind message = Proto.Err { Proto.kind; message }
 

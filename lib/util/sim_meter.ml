@@ -1,0 +1,16 @@
+(* Process-wide simulated-cycle meter.
+
+   Every completed simulation window — accelerator executions and CPU-model
+   runs alike — adds its cycle count here. The bench harness reads deltas
+   around each experiment to report `simulated_cycles` and derive
+   `cycles_per_second`: unlike wall-clock, the delta is deterministic and
+   invariant under `--jobs`, which is what lets CI gate on exact values.
+
+   A single atomic is deliberate: workers in the harness pool run on other
+   domains, and additions are far too coarse-grained (one per simulated
+   window, not per cycle) for contention to matter. *)
+
+let counter = Atomic.make 0
+
+let add cycles = if cycles > 0 then ignore (Atomic.fetch_and_add counter cycles)
+let read () = Atomic.get counter

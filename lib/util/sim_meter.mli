@@ -1,0 +1,13 @@
+(** Process-wide simulated-cycle meter.
+
+    Simulation backends (the accelerator engine, the CPU core model) add
+    each completed window's cycle count; the bench harness reads deltas
+    around an experiment to report `simulated_cycles` and
+    `cycles_per_second`. Totals are exact, monotonic, and independent of
+    worker parallelism, so CI can equality-gate on them. *)
+
+val add : int -> unit
+(** Record [cycles] simulated cycles (non-positive values are ignored). *)
+
+val read : unit -> int
+(** Total simulated cycles recorded by this process so far. *)

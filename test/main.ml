@@ -24,6 +24,7 @@ let () =
          Test_extensions.suites;
          Test_robustness.suites;
          Test_engine_timing.suites;
+         Test_engine_event.suites;
          Test_rv64.suites;
          Test_cse.suites;
          Test_fault.suites;

@@ -549,6 +549,54 @@ let loadgen_digest_deterministic () =
     (List.init 20 (Loadgen.request_at cfg)
     = List.init 20 (Loadgen.request_at cfg))
 
+(* ---------------- shard isolation under concurrency ---------------- *)
+
+(* Two threads hammering the service concurrently must reproduce the serial
+   answers bit-for-bit. This is the event engine's shard-locality contract:
+   its memo state (arrival caches, store table) is per-execution, its
+   contention-table scratch is claimed under the domain-local pool's lock,
+   and the memory/hierarchy pools hand a buffer to exactly one run at a
+   time — so one in-flight request can never perturb another's cycles or
+   memory image. A violation shows up here as a checksum or cycle count
+   that differs from the serial oracle. *)
+let concurrent_shards_match_serial () =
+  with_service (fun svc ->
+      let kernels = [| "nn"; "kmeans"; "bfs"; "hotspot" |] in
+      let exec ~id name =
+        match Service.execute svc (Proto.run_request ~id name) with
+        | Proto.Ok_run b -> (name, b.Proto.cycles, b.Proto.mem_checksum, b.Proto.offloads)
+        | _ -> Alcotest.failf "%s: clean run must succeed" name
+      in
+      (* Serial oracle: one answer per kernel. *)
+      let oracle =
+        Array.to_list kernels |> List.mapi (fun i name -> (name, exec ~id:i name))
+      in
+      let per_thread = 8 in
+      let slots = Array.make 2 [] in
+      let threads =
+        List.init 2 (fun tid ->
+            Thread.create
+              (fun () ->
+                slots.(tid) <-
+                  List.init per_thread (fun j ->
+                      let i = (tid * per_thread) + j in
+                      exec ~id:(100 + i) kernels.(i mod Array.length kernels)))
+              ())
+      in
+      List.iter Thread.join threads;
+      List.iter
+        (fun ((name, cycles, checksum, offloads) as got) ->
+          match List.assoc_opt name oracle with
+          | None -> Alcotest.failf "unexpected kernel %s" name
+          | Some (_, c, k, o) ->
+            if (cycles, checksum, offloads) <> (c, k, o) then
+              Alcotest.failf
+                "%s under concurrency: (cycles %d, checksum %#x, offloads %d) \
+                 differs from serial (%d, %#x, %d)"
+                name cycles checksum offloads c k o;
+            ignore got)
+        (slots.(0) @ slots.(1)))
+
 let suites =
   [
     ( "service.proto",
@@ -584,6 +632,8 @@ let suites =
           chaos_trips_and_recovers;
         Alcotest.test_case "no shard + no fallback = fabric_quarantined"
           `Slow fallback_forbidden_is_fabric_quarantined;
+        Alcotest.test_case "concurrent shards match the serial oracle" `Slow
+          concurrent_shards_match_serial;
       ] );
     ( "service.daemon",
       [
