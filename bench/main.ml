@@ -29,6 +29,8 @@ let experiments : (string * (jobs:int option -> Experiments.outcome)) list =
     ("table2", fun ~jobs -> Experiments.table2 ?jobs ());
     ("ablation", fun ~jobs -> Ablation.experiment ?jobs ());
     ("dse", fun ~jobs -> Dse.experiment ?jobs ());
+    ("dse-guided", fun ~jobs -> Dse.guided_experiment ?jobs ());
+    ("refine", fun ~jobs -> Refine.experiment ?jobs ());
   ]
 
 (* Figure-style ASCII charts rendered next to the tables. *)

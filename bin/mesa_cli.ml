@@ -645,6 +645,8 @@ let bench_cmd =
         ("table2", fun () -> Experiments.table2 ());
         ("ablation", fun () -> Ablation.experiment ());
         ("dse", fun () -> Dse.experiment ());
+        ("dse-guided", fun () -> Dse.guided_experiment ());
+        ("refine", fun () -> Refine.experiment ());
       ]
       in
       List.fold_left
@@ -660,6 +662,100 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(term_result (const run $ names))
+
+(* ---------------- refine ---------------- *)
+
+let refine_cmd =
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Tie-break seed for candidate ranking.")
+  in
+  let max_rounds =
+    Arg.(
+      value & opt int 8
+      & info [ "max-rounds" ] ~docv:"N" ~doc:"Refinement rounds to attempt.")
+  in
+  let beam =
+    Arg.(
+      value & opt int 4
+      & info [ "beam" ] ~docv:"N"
+          ~doc:"Model-ranked candidates engine-confirmed per round.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the mesa-refine-v1 report (cycle counts, search counters).")
+  in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a mesa-profile-v1 JSON of the refined placement (feed to \
+             `mesa_cli profile-diff` against --baseline-profile-out).")
+  in
+  let baseline_profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline-profile-out" ] ~docv:"FILE"
+          ~doc:"Write a mesa-profile-v1 JSON of the unrefined placement.")
+  in
+  let run name pes seed max_rounds beam json_out profile_out baseline_profile_out
+      =
+    Result.bind (find_kernel name) (fun (k : Kernel.t) ->
+        let grid = grid_of pes in
+        match Refine.run ~seed ~max_rounds ~beam ~grid k with
+        | Error e -> Error (`Msg e)
+        | Ok r ->
+          let gain =
+            100.0
+            *. float_of_int (r.Refine.baseline_cycles - r.Refine.refined_cycles)
+            /. float_of_int (max 1 r.Refine.baseline_cycles)
+          in
+          Printf.printf
+            "%s: baseline %d cycles -> refined %d cycles (%.1f%% better)\n"
+            r.Refine.kernel r.Refine.baseline_cycles r.Refine.refined_cycles gain;
+          Printf.printf
+            "model: baseline %d, refined %d; %d round(s), %d proposed, %d \
+             confirmed, %d accepted\n"
+            r.Refine.model_baseline r.Refine.model_refined r.Refine.rounds
+            r.Refine.proposed r.Refine.confirmed r.Refine.accepted;
+          let dump what path json =
+            match path with
+            | None -> Ok ()
+            | Some f ->
+              Result.map
+                (fun () -> Printf.printf "%s written to %s\n" what f)
+                (write_text f (Json.to_string ~indent:2 json))
+          in
+          let dump_profile what path placement =
+            match path with
+            | None -> Ok ()
+            | Some _ -> (
+              match Refine.profile r placement with
+              | Error e -> Error (`Msg (what ^ ": " ^ e))
+              | Ok p -> dump what path (Profile.to_json p))
+          in
+          let ( let* ) = Result.bind in
+          let* () = dump "report" json_out (Refine.report_to_json r) in
+          let* () = dump_profile "profile" profile_out r.Refine.placement in
+          dump_profile "baseline profile" baseline_profile_out r.Refine.baseline)
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Refine a kernel's placement with the analytical cost model: \
+          model-ranked move/swap candidates, each accepted only after the \
+          event engine confirms the predicted cycle win")
+    Term.(
+      term_result
+        (const run $ kernel_arg $ grid_arg $ seed $ max_rounds $ beam $ json_out
+       $ profile_out $ baseline_profile_out))
 
 (* ---------------- dse ---------------- *)
 
@@ -728,6 +824,47 @@ let dse_cmd =
             "Stop after $(docv) fresh measurements (deterministic stand-in \
              for an interrupted sweep; pair with --checkpoint).")
   in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt string "exhaustive"
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "Search strategy: $(b,exhaustive) measures every lattice point; \
+             $(b,guided) calibrates the analytical cost model on one seed per \
+             kernel, ranks the rest by the surrogate and measures \
+             successively-halved batches until every unmeasured candidate is \
+             dominated — at most half the lattice is ever measured.")
+  in
+  let defect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "defect" ] ~docv:"D"
+          ~doc:
+            "Inject a search defect (mutation testing): $(b,inverted-rank) \
+             makes the guided surrogate rank candidates worst-first, which \
+             must demonstrably miss the Pareto frontier.")
+  in
+  let frontier_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "frontier-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the Pareto-frontier point labels, sorted, one per line — \
+             plain-diffable against another run's frontier.")
+  in
+  let max_frac =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-frac" ] ~docv:"X"
+          ~doc:
+            "Fail (non-zero exit) when more than fraction $(docv) of the \
+             exhaustive lattice was engine-measured — the guided-search \
+             efficiency gate.")
+  in
   let out =
     Arg.(
       value
@@ -777,7 +914,7 @@ let dse_cmd =
     | None -> Error "expected ROWSxCOLS"
   in
   let run kernels grids ports kinds l1 l2 jobs checkpoint resume budget
-      stop_after out trace_out top =
+      stop_after strategy defect frontier_out max_frac out trace_out top =
     let d = Dse.default_spec in
     let ( let* ) = Result.bind in
     let* kernels = parse_list "kernel" (fun t -> Ok t) d.Dse.kernels kernels in
@@ -786,16 +923,29 @@ let dse_cmd =
     let* kinds = parse_list "interconnect" Dse.kind_of_string d.Dse.kinds kinds in
     let* l1_kb = parse_list "L1 capacity" int_tok d.Dse.l1_kb l1 in
     let* l2_kb = parse_list "L2 capacity" int_tok d.Dse.l2_kb l2 in
+    let* strategy =
+      Result.map_error (fun e -> `Msg e) (Dse.strategy_of_string strategy)
+    in
+    let* defect =
+      match defect with
+      | None -> Ok None
+      | Some "inverted-rank" -> Ok (Some Dse.Inverted_rank)
+      | Some d -> Error (`Msg (Printf.sprintf "unknown defect %S (inverted-rank)" d))
+    in
     let spec = { Dse.kernels; grids; ports; kinds; l1_kb; l2_kb; budget } in
-    match Dse.run ?jobs ?checkpoint ~resume ?stop_after spec with
+    match Dse.run ?jobs ?checkpoint ~resume ?stop_after ~strategy ?defect spec with
     | Error e -> Error (`Msg e)
     | Ok r ->
       Tables.print (Dse.table ?top r);
       Printf.printf
-        "\n%d point(s): %d measured, %d restored, %d on the Pareto frontier%s\n"
+        "\n%d point(s): %d measured fresh, %d restored, %d on the Pareto frontier%s\n"
         (List.length r.Dse.outcomes) r.Dse.evaluated r.Dse.restored
         (List.length r.Dse.front)
         (if r.Dse.complete then "" else " [interrupted by --stop-after]");
+      Printf.printf "engine-measured %d of %d lattice point(s) (%.1f%%)\n"
+        r.Dse.measured r.Dse.exhaustive_count
+        (100.0 *. float_of_int r.Dse.measured
+        /. float_of_int (max 1 r.Dse.exhaustive_count));
       List.iter
         (fun (o : Dse.outcome) ->
           Printf.printf "  frontier: %-40s perf %.3f it/kc, %.3f it/kc/W\n"
@@ -811,17 +961,39 @@ let dse_cmd =
       in
       Option.iter (fun p -> write p (Dse.result_to_json r)) out;
       Option.iter (fun p -> write p (Trace.to_chrome_json r.Dse.timeline)) trace_out;
-      Ok ()
+      Option.iter
+        (fun p ->
+          let labels =
+            List.sort compare
+              (List.map (fun (o : Dse.outcome) -> Dse.point_label o.Dse.point) r.Dse.front)
+          in
+          let oc = open_out p in
+          List.iter (fun l -> output_string oc (l ^ "\n")) labels;
+          close_out oc;
+          Printf.printf "written %s\n" p)
+        frontier_out;
+      (match max_frac with
+      | Some x
+        when float_of_int r.Dse.measured
+             > x *. float_of_int r.Dse.exhaustive_count ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "measured %d of %d lattice points, exceeding --max-frac %g"
+               r.Dse.measured r.Dse.exhaustive_count x))
+      | _ -> Ok ())
   in
   Cmd.v
     (Cmd.info "dse"
        ~doc:
          "Explore the joint design space (grids, ports, interconnects, cache \
-          sizes) with a deterministic, resumable sweep")
+          sizes) with a deterministic, resumable sweep — exhaustively or \
+          guided by the analytical cost model")
     Term.(
       term_result
         (const run $ kernels $ grids $ ports $ kinds $ l1 $ l2 $ jobs
-       $ checkpoint $ resume $ budget $ stop_after $ out $ trace_out $ top))
+       $ checkpoint $ resume $ budget $ stop_after $ strategy_arg $ defect_arg
+       $ frontier_out $ max_frac $ out $ trace_out $ top))
 
 let fuzz_cmd =
   let seed =
@@ -1275,4 +1447,4 @@ let () =
   let doc = "MESA: microarchitecture extensions for spatial architecture generation" in
   let info = Cmd.info "mesa_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; profile_cmd; profile_diff_cmd; stats_diff_cmd; bench_cmd; dse_cmd; fuzz_cmd; serve_cmd; loadgen_cmd ]))
+       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; profile_cmd; profile_diff_cmd; stats_diff_cmd; bench_cmd; refine_cmd; dse_cmd; fuzz_cmd; serve_cmd; loadgen_cmd ]))

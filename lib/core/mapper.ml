@@ -158,6 +158,148 @@ let map ?(config = default_config) ~(grid : Grid.t) ~kind (model : Perf_model.t)
     | Ok () -> Ok placement
     | Error e -> Error ("mapper produced invalid placement: " ^ e))
 
+(* ------------------------------------------------------------------ *)
+(* Model-guided post-placement refinement.
+
+   Algorithm 1 is greedy in program order: a node placed early can end up
+   far from a consumer it turns out to bottleneck. [refine] walks the cost
+   model's critical chain and proposes relocations (to a free compatible
+   location) and swaps (with another placed node) for each chain node,
+   ranks every legal candidate by the model's predicted cycles, and asks
+   the engine to confirm the most promising ones. Only a strict,
+   engine-confirmed improvement is accepted, so the result can never be
+   worse than the input placement — the model steers, the engine decides. *)
+
+type refinement = {
+  placement : Placement.t;
+  baseline_cycles : int;
+  refined_cycles : int;
+  rounds : int;
+  proposed : int;
+  confirmed : int;
+  accepted : int;
+}
+
+let refine ?(seed = 0) ?(max_rounds = 8) ?(beam = 4)
+    ~(predict : Placement.t -> Cost_model.t)
+    ~(confirm : Placement.t -> int option) ~(dfg : Dfg.t) ~baseline_cycles
+    (placement : Placement.t) =
+  let grid = placement.Placement.grid in
+  let kind = placement.Placement.kind in
+  let n = Dfg.node_count dfg in
+  let cls_of j = Isa.op_class dfg.Dfg.nodes.(j).Dfg.instr in
+  (* Deterministic seeded tie-break for equal model scores: a per-candidate
+     draw from a PRNG keyed on the seed and the candidate's identity, so
+     the ranking is a pure function of (seed, candidate set) and immune to
+     generation order. *)
+  let tie descr = Prng.int (Prng.create (seed lxor Hashtbl.hash descr)) max_int in
+  let current = ref placement in
+  let current_cycles = ref baseline_cycles in
+  let proposed = ref 0 in
+  let confirmed = ref 0 in
+  let accepted = ref 0 in
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < max_rounds do
+    continue_ := false;
+    let est = predict !current in
+    let assign = (!current).Placement.assign in
+    (* Occupancy maps for the current placement. *)
+    let pe_owner = Hashtbl.create 64 in
+    let ls_owner = Array.make grid.Grid.ls_entries (-1) in
+    Array.iteri
+      (fun j -> function
+        | Placement.Pe c -> Hashtbl.replace pe_owner (c.Grid.row, c.Grid.col) j
+        | Placement.Ls e -> if e >= 0 && e < Array.length ls_owner then ls_owner.(e) <- j)
+      assign;
+    let cand_with j loc =
+      let assign' = Array.copy assign in
+      assign'.(j) <- loc;
+      Placement.make grid kind assign'
+    in
+    let swap_with j j2 =
+      let assign' = Array.copy assign in
+      assign'.(j) <- assign.(j2);
+      assign'.(j2) <- assign.(j);
+      Placement.make grid kind assign'
+    in
+    let seen = Hashtbl.create 64 in
+    let cands = ref [] in
+    let add descr pl =
+      if not (Hashtbl.mem seen descr) then begin
+        Hashtbl.replace seen descr ();
+        match Placement.validate dfg pl with
+        | Ok () -> cands := (descr, pl) :: !cands
+        | Error _ -> ()
+      end
+    in
+    List.iter
+      (fun j ->
+        if j >= 0 && j < n then
+          match assign.(j) with
+          | Placement.Ls e ->
+            for e' = 0 to grid.Grid.ls_entries - 1 do
+              if e' <> e then
+                if ls_owner.(e') < 0 then
+                  add (`Move_ls (j, e')) (cand_with j (Placement.Ls e'))
+                else
+                  let j2 = ls_owner.(e') in
+                  add (`Swap (min j j2, max j j2)) (swap_with j j2)
+            done
+          | Placement.Pe c ->
+            Grid.iter_coords grid (fun c' ->
+                if c' <> c then
+                  match Hashtbl.find_opt pe_owner (c'.Grid.row, c'.Grid.col) with
+                  | None ->
+                    if Grid.supports grid c' (cls_of j) then
+                      add (`Move_pe (j, c'.Grid.row, c'.Grid.col))
+                        (cand_with j (Placement.Pe c'))
+                  | Some j2 ->
+                    if
+                      Grid.supports grid c' (cls_of j)
+                      && Grid.supports grid c (cls_of j2)
+                    then add (`Swap (min j j2, max j j2)) (swap_with j j2)))
+      est.Cost_model.critical;
+    (* Model-rank every candidate; only predicted improvements survive. *)
+    let scored =
+      List.filter_map
+        (fun (descr, pl) ->
+          incr proposed;
+          let e = predict pl in
+          if e.Cost_model.cycles < est.Cost_model.cycles then
+            Some (e.Cost_model.cycles, tie descr, pl)
+          else None)
+        !cands
+    in
+    let ranked = List.sort compare scored in
+    (* Engine-confirm the top of the ranking; first strict improvement
+       wins the round. *)
+    let rec try_beam k = function
+      | [] -> ()
+      | _ when k >= beam -> ()
+      | (_, _, pl) :: rest ->
+        incr confirmed;
+        (match confirm pl with
+        | Some cycles when cycles < !current_cycles ->
+          current := pl;
+          current_cycles := cycles;
+          incr accepted;
+          continue_ := true
+        | Some _ | None -> try_beam (k + 1) rest)
+    in
+    try_beam 0 ranked;
+    incr rounds
+  done;
+  {
+    placement = !current;
+    baseline_cycles;
+    refined_cycles = !current_cycles;
+    rounds = !rounds;
+    proposed = !proposed;
+    confirmed = !confirmed;
+    accepted = !accepted;
+  }
+
 (* Figure 8: per instruction the FSM spends fixed stages (LDFG read,
    candidate generation, filtering, writeback) plus a reduction whose depth
    follows the window size. *)

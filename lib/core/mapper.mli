@@ -36,6 +36,39 @@ val map :
 (** Place the model's graph onto [grid]. Fails when PEs or LS entries run
     out (a structural hazard; the controller then rejects the region). *)
 
+(** Outcome of a {!refine} pass. [refined_cycles <= baseline_cycles] always:
+    only strict engine-confirmed improvements are accepted. *)
+type refinement = {
+  placement : Placement.t;   (** best accepted placement (input if none) *)
+  baseline_cycles : int;     (** engine cycles of the input placement *)
+  refined_cycles : int;      (** engine cycles of [placement] *)
+  rounds : int;              (** refinement rounds run *)
+  proposed : int;            (** candidates scored by the model *)
+  confirmed : int;           (** engine confirmations attempted *)
+  accepted : int;            (** moves/swaps accepted *)
+}
+
+val refine :
+  ?seed:int ->
+  ?max_rounds:int ->
+  ?beam:int ->
+  predict:(Placement.t -> Cost_model.t) ->
+  confirm:(Placement.t -> int option) ->
+  dfg:Dfg.t ->
+  baseline_cycles:int ->
+  Placement.t ->
+  refinement
+(** Model-guided post-placement refinement. Each round estimates the
+    current placement with [predict], proposes relocations and swaps for
+    every node on the model's critical chain, keeps the legal candidates
+    the model predicts to be faster, and engine-[confirm]s the top [beam]
+    (default 4) of the model ranking; the first strictly faster confirmed
+    candidate is adopted and the next round starts, for at most
+    [max_rounds] (default 8) rounds. Ties in the model ranking are broken
+    by a [seed]-keyed PRNG draw per candidate, making the pass a
+    deterministic pure function of its inputs. [confirm] returning [None]
+    (a rejected or failed run) just skips the candidate. *)
+
 val map_cycles : config -> Dfg.t -> int
 (** Hardware cost of running the imap FSM (Figure 8): a constant pipeline
     of stages per instruction plus a reduction tree over the candidate

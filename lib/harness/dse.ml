@@ -31,6 +31,19 @@ type spec = {
   budget : int option;
 }
 
+type strategy = Exhaustive | Guided
+
+type defect = Inverted_rank
+
+let strategy_to_string = function
+  | Exhaustive -> "exhaustive"
+  | Guided -> "guided"
+
+let strategy_of_string = function
+  | "exhaustive" -> Ok Exhaustive
+  | "guided" -> Ok Guided
+  | s -> Error (Printf.sprintf "unknown strategy %S (exhaustive|guided)" s)
+
 let kind_to_string = function
   | Interconnect.Mesh_noc -> "mesh_noc"
   | Interconnect.Hierarchical_rows -> "hier_rows"
@@ -407,13 +420,20 @@ let spec_of_json j =
   in
   Ok { kernels; grids; ports; kinds; l1_kb; l2_kb; budget }
 
-let checkpoint_to_json spec outcomes =
+let checkpoint_to_json ?(strategy = Exhaustive) spec outcomes =
   Json.Assoc
-    [
-      ("version", Json.Int 1);
-      ("spec", spec_to_json spec);
-      ("outcomes", Json.List (List.map outcome_to_json outcomes));
-    ]
+    (("version", Json.Int 1)
+     ::
+     (* The strategy field extends the v1 schema compatibly: absent means
+        exhaustive, so checkpoints written before guided search existed
+        (and exhaustive ones written today) keep their exact byte format. *)
+     (match strategy with
+     | Exhaustive -> []
+     | Guided -> [ ("strategy", Json.String (strategy_to_string strategy)) ])
+    @ [
+        ("spec", spec_to_json spec);
+        ("outcomes", Json.List (List.map outcome_to_json outcomes));
+      ])
 
 let checkpoint_of_json j =
   let ( let* ) = Result.bind in
@@ -422,6 +442,12 @@ let checkpoint_of_json j =
     | Some 1 -> Ok ()
     | Some v -> json_err "unsupported checkpoint version %d" v
     | None -> Error "checkpoint without version"
+  in
+  let* strategy =
+    match Json.member "strategy" j with
+    | None -> Ok Exhaustive
+    | Some (Json.String s) -> strategy_of_string s
+    | Some _ -> Error "checkpoint with malformed strategy"
   in
   let* spec =
     match Json.member "spec" j with
@@ -440,12 +466,12 @@ let checkpoint_of_json j =
       |> Result.map List.rev
     | None -> Error "checkpoint without outcomes"
   in
-  Ok (spec, outcomes)
+  Ok (spec, strategy, outcomes)
 
-let write_checkpoint path spec outcomes =
+let write_checkpoint ?strategy path spec outcomes =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
-  output_string oc (Json.to_string ~indent:2 (checkpoint_to_json spec outcomes));
+  output_string oc (Json.to_string ~indent:2 (checkpoint_to_json ?strategy spec outcomes));
   output_char oc '\n';
   close_out oc;
   Sys.rename tmp path
@@ -515,20 +541,82 @@ let neighbours_of_point ((kernels, grids, ports, kinds, l1s, l2s) as _axes) p =
   | _ -> []
 
 (* ------------------------------------------------------------------ *)
+(* Guided search surrogate: the analytical cost model prices a lattice
+   point without running the engine, so ranking the whole lattice costs
+   about as much as measuring one point.                                *)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let rec drop n = function
+  | l when n <= 0 -> l
+  | [] -> []
+  | _ :: tl -> drop (n - 1) tl
+
+(* The model only needs enough iterations to rank points; past the steady
+   state every estimate rescales by the same II. *)
+let surrogate_horizon (k : Kernel.t) = min (max 1 k.Kernel.n) 128
+
+(* Model cycles-per-iteration of a point, plus everything needed to price
+   its energy. [Error] when the mapper rejects the point outright. *)
+let model_of_point (p : point) =
+  let k = Workloads.find p.kernel in
+  let grid = grid_of_point p in
+  let dfg = Runner.dfg_of_kernel k in
+  match Runner.placement_of ~kind:p.kind ~grid k with
+  | Error e -> Error e
+  | Ok placement ->
+    let mo = Mem_opt.analyze dfg in
+    let ld =
+      Loop_opt.decide ~grid ~dfg
+        ~pragma:(Program.pragma_at k.Kernel.program dfg.Dfg.entry_addr)
+    in
+    let config =
+      Accel_config.with_opts ~forwarding:mo.Mem_opt.forwarding
+        ~vector_groups:mo.Mem_opt.vector_groups ~prefetched:mo.Mem_opt.prefetched
+        ~tiling:ld.Loop_opt.tiling ~pipelined:true placement
+    in
+    let h = surrogate_horizon k in
+    let est = Cost_model.estimate ~config ~dfg ~iterations:h () in
+    Ok (float_of_int est.Cost_model.cycles /. float_of_int h, config, dfg, grid, h)
+
+(* Surrogate (perf, perf/W) mirroring [evaluate]'s derivations with model
+   quantities. The model prices every access at the L1 hit latency, so
+   [scale] — measured-over-model cycles-per-iteration on the kernel's seed
+   point — absorbs that kernel's average miss penalty. *)
+let predict_point ~scale (p : point) =
+  match model_of_point p with
+  | Error e -> Error e
+  | Ok (cpi, config, dfg, grid, h) ->
+    let cpi = cpi *. scale in
+    let cycles = max 1 (int_of_float (Float.ceil (cpi *. float_of_int h))) in
+    let act = Cost_model.predicted_activity ~config ~dfg ~iterations:h ~cycles in
+    let energy_nj = (Energy_model.accel_energy ~grid act).Energy_model.total_nj in
+    let power_w = 2.0 *. energy_nj /. float_of_int cycles in
+    let perf = 1000.0 /. cpi in
+    let perf_per_watt = if power_w > 0.0 then perf /. power_w else 0.0 in
+    Ok (perf, perf_per_watt)
+
+(* ------------------------------------------------------------------ *)
 (* The explorer.                                                       *)
 
 type result = {
   spec : spec;
+  strategy : strategy;
   outcomes : outcome list;
   front : outcome list;
   complete : bool;
   evaluated : int;
+  measured : int;
+  exhaustive_count : int;
   restored : int;
   stats : Stats.snapshot;
   timeline : Trace.span list;
 }
 
-let load_checkpoint ~resume ~checkpoint spec =
+let load_checkpoint ~strategy ~resume ~checkpoint spec =
   if not resume then Ok []
   else
     match checkpoint with
@@ -540,21 +628,39 @@ let load_checkpoint ~resume ~checkpoint spec =
       close_in ic;
       match Result.bind (Json.of_string text) checkpoint_of_json with
       | Error e -> Error (Printf.sprintf "checkpoint %s: %s" path e)
-      | Ok (sp, outs) ->
-        if sp = spec then Ok outs
-        else Error (Printf.sprintf "checkpoint %s was produced by a different spec" path))
+      | Ok (sp, st, outs) ->
+        if sp <> spec then
+          Error (Printf.sprintf "checkpoint %s was produced by a different spec" path)
+        else if st <> strategy then
+          Error
+            (Printf.sprintf "checkpoint %s was produced by the %s strategy" path
+               (strategy_to_string st))
+        else Ok outs)
 
-let run ?jobs ?checkpoint ?(resume = false) ?stop_after spec =
+let run ?jobs ?checkpoint ?(resume = false) ?stop_after ?(strategy = Exhaustive)
+    ?defect spec =
   let ( let* ) = Result.bind in
   let* () = validate_spec spec in
-  let* prior = load_checkpoint ~resume ~checkpoint spec in
+  let* () =
+    match (strategy, spec.budget) with
+    | Guided, Some _ ->
+      Error "spec: the guided strategy sets its own budget; drop the spec's"
+    | _ -> Ok ()
+  in
+  let* prior = load_checkpoint ~strategy ~resume ~checkpoint spec in
   let known : (point, outcome) Hashtbl.t = Hashtbl.create 97 in
   List.iter (fun o -> Hashtbl.replace known o.point o) prior;
+  let all_points = points_of_spec spec in
+  let exhaustive_count = List.length all_points in
   let reg = Stats.registry () in
   let grp = Stats.group reg "dse" in
   let c_eval = Stats.counter ~desc:"points measured fresh by this run" grp "points_evaluated" in
   let c_hits = Stats.counter ~desc:"points restored from the checkpoint" grp "cache_hits" in
   let c_rej = Stats.counter ~desc:"points whose mapping or execution was rejected" grp "points_rejected" in
+  let c_meas = Stats.counter ~desc:"engine runs that mapped (fresh or restored)" grp "points_measured" in
+  let c_batches = Stats.counter ~desc:"guided halving batches dispatched" grp "guided_batches" in
+  Stats.int_probe ~desc:"full lattice size" grp "exhaustive_count"
+    (fun () -> exhaustive_count);
   let outcomes_rev = ref [] in
   Stats.int_probe ~desc:"non-dominated points at readout" grp "frontier_size"
     (fun () -> List.length (frontier (List.rev !outcomes_rev)));
@@ -569,7 +675,7 @@ let run ?jobs ?checkpoint ?(resume = false) ?stop_after spec =
       Stats.incr c_eval;
       incr fresh
     end;
-    if not o.mapped then Stats.incr c_rej;
+    if o.mapped then Stats.incr c_meas else Stats.incr c_rej;
     timeline :=
       Trace.span ~cat:"dse" ~ts:!clock ~dur:(max 0 o.cycles)
         ~args:
@@ -582,7 +688,7 @@ let run ?jobs ?checkpoint ?(resume = false) ?stop_after spec =
       :: !timeline;
     clock := !clock + max 1 o.cycles;
     (match checkpoint with
-    | Some path -> write_checkpoint path spec (List.rev !outcomes_rev)
+    | Some path -> write_checkpoint ~strategy path spec (List.rev !outcomes_rev)
     | None -> ());
     match stop_after with
     | Some k when !fresh >= k -> stopped := true
@@ -614,17 +720,145 @@ let run ?jobs ?checkpoint ?(resume = false) ?stop_after spec =
           slots;
         not !stopped
       in
-      match spec.budget with
-      | None -> ignore (eval_batch (points_of_spec spec))
-      | Some budget ->
+      match (strategy, spec.budget) with
+      | Exhaustive, None -> ignore (eval_batch all_points)
+      | Guided, _ ->
+        (* Surrogate-ranked successive halving. One engine-measured seed per
+           kernel calibrates the model's cycles-per-iteration; the model
+           then prices every remaining point, candidates are ranked by the
+           better of their two objective ranks, and batches of shrinking
+           size are measured until every unmeasured candidate is dominated
+           beyond the model's observed error, or the hard cap — half the
+           lattice — is reached. Every ordering ties off on point labels,
+           so the schedule is deterministic at any [jobs] and replays
+           identically from a checkpoint. *)
+        let cap = (exhaustive_count + 1) / 2 in
+        let measured () =
+          List.fold_left (fun n o -> if o.mapped then n + 1 else n) 0 !outcomes_rev
+        in
+        let scheduled = Hashtbl.create 97 in
+        let sched p = Hashtbl.replace scheduled p () in
+        let go = ref true in
+        (* Seeds: per kernel, walk the lattice in enumeration order until a
+           point maps, and calibrate on it. *)
+        let calib : (string, float) Hashtbl.t = Hashtbl.create 7 in
+        List.iter
+          (fun kernel ->
+            let rec walk = function
+              | [] -> ()
+              | p :: tl ->
+                if !go then begin
+                  sched p;
+                  go := eval_batch [ p ];
+                  match Hashtbl.find_opt known p with
+                  | Some o when o.mapped -> (
+                    match model_of_point p with
+                    | Ok (cpi, _, _, _, _) when cpi > 0.0 ->
+                      let meas =
+                        float_of_int o.cycles
+                        /. float_of_int (max 1 o.iterations)
+                      in
+                      Hashtbl.replace calib kernel (meas /. cpi)
+                    | _ -> ())
+                  | _ -> walk tl
+                end
+            in
+            walk (List.filter (fun p -> p.kernel = kernel) all_points))
+          (dedup spec.kernels);
+        (* Price the rest of the lattice. Points the mapper rejects cost no
+           engine time — record them outright so the reject column still
+           covers the whole lattice. *)
+        let unmappable = ref [] in
+        let cands = ref [] in
+        List.iter
+          (fun p ->
+            if not (Hashtbl.mem scheduled p) then
+              match Hashtbl.find_opt calib p.kernel with
+              | None -> ()
+              | Some scale -> (
+                match predict_point ~scale p with
+                | Error _ -> unmappable := p :: !unmappable
+                | Ok (perf, ppw) -> cands := (p, perf, ppw) :: !cands))
+          all_points;
+        (match List.rev !unmappable with
+        | [] -> ()
+        | rj ->
+          List.iter sched rj;
+          if !go then go := eval_batch rj);
+        let cands = List.rev !cands in
+        (* Rank: a point's key is the better of its positions in the
+           perf-descending and perf/W-descending orders, so both frontier
+           extremes surface early. *)
+        let arr = Array.of_list cands in
+        let n = Array.length arr in
+        let rank cmp =
+          let idx = Array.init n Fun.id in
+          Array.sort (fun i j -> cmp arr.(i) arr.(j)) idx;
+          let r = Array.make n 0 in
+          Array.iteri (fun pos i -> r.(i) <- pos) idx;
+          r
+        in
+        let lbl (p, _, _) = point_label p in
+        let desc pr a b =
+          match compare (pr b) (pr a) with 0 -> compare (lbl a) (lbl b) | c -> c
+        in
+        let rp = rank (desc (fun (_, f, _) -> f)) in
+        let rw = rank (desc (fun (_, _, w) -> w)) in
+        let keyed =
+          Array.mapi
+            (fun i ((p, f, _) as c) ->
+              ((min rp.(i) rw.(i), -.f, point_label p), c))
+            arr
+        in
+        Array.sort compare keyed;
+        let order = Array.to_list (Array.map snd keyed) in
+        let order =
+          match defect with Some Inverted_rank -> List.rev order | None -> order
+        in
+        (* τ-dominance pruning: drop a candidate once a measurement beats
+           its prediction by more than the model's worst observed relative
+           error (floored at 10%) on both objectives. *)
+        let predictions = Hashtbl.create 97 in
+        List.iter (fun (p, f, w) -> Hashtbl.replace predictions p (f, w)) cands;
+        let tau () =
+          List.fold_left
+            (fun t o ->
+              if not o.mapped then t
+              else
+                match Hashtbl.find_opt predictions o.point with
+                | Some (f, _) when o.perf > 0.0 ->
+                  Float.max t (Float.abs (o.perf -. f) /. o.perf)
+                | _ -> t)
+            0.10 !outcomes_rev
+        in
+        let dominated t (f, w) =
+          let fo = f *. (1.0 +. t) and wo = w *. (1.0 +. t) in
+          List.exists
+            (fun o -> o.mapped && o.perf > fo && o.perf_per_watt > wo)
+            !outcomes_rev
+        in
+        let rec halve queue width =
+          if !go && queue <> [] then begin
+            let t = tau () in
+            let queue =
+              List.filter (fun (_, f, w) -> not (dominated t (f, w))) queue
+            in
+            let room = cap - measured () in
+            if queue <> [] && room > 0 then begin
+              let sz = max 1 (min width (min room (List.length queue))) in
+              let batch = take sz queue in
+              Stats.incr c_batches;
+              List.iter (fun (p, _, _) -> sched p) batch;
+              go := eval_batch (List.map (fun (p, _, _) -> p) batch);
+              halve (drop sz queue) (max 1 (width / 2))
+            end
+          end
+        in
+        halve order (max 1 ((List.length order + 3) / 4))
+      | Exhaustive, Some budget ->
         let axes = axes_of_spec spec in
         let scheduled = Hashtbl.create 97 in
         let total = ref 0 in
-        let rec take n = function
-          | [] -> []
-          | _ when n = 0 -> []
-          | x :: tl -> x :: take (n - 1) tl
-        in
         let rec round batch =
           let batch =
             List.filter (fun p -> not (Hashtbl.mem scheduled p)) (dedup batch)
@@ -648,10 +882,14 @@ let run ?jobs ?checkpoint ?(resume = false) ?stop_after spec =
   Ok
     {
       spec;
+      strategy;
       outcomes;
       front = frontier outcomes;
       complete = not !stopped;
       evaluated = !fresh;
+      measured =
+        List.fold_left (fun n o -> if o.mapped then n + 1 else n) 0 outcomes;
+      exhaustive_count;
       restored = List.length outcomes - !fresh;
       stats = Stats.snapshot reg;
       timeline = List.rev !timeline;
@@ -661,6 +899,9 @@ let result_to_json r =
   Json.Assoc
     [
       ("spec", spec_to_json r.spec);
+      ("strategy", Json.String (strategy_to_string r.strategy));
+      ("exhaustive_count", Json.Int r.exhaustive_count);
+      ("measured", Json.Int r.measured);
       ("outcomes", Json.List (List.map outcome_to_json r.outcomes));
       ("frontier", Json.List (List.map outcome_to_json r.front));
     ]
@@ -735,5 +976,35 @@ let experiment ?jobs () =
           ("frontier_size", float_of_int (List.length r.front));
           ("best_perf", best (fun o -> o.perf));
           ("best_perf_per_watt", best (fun o -> o.perf_per_watt));
+        ];
+    }
+
+let guided_experiment ?jobs () =
+  let spec =
+    {
+      kernels = [ "nn"; "kmeans" ];
+      grids = [ (4, 4); (8, 4); (8, 8); (16, 8) ];
+      ports = [ 2; 8 ];
+      kinds = [ Interconnect.Mesh_noc ];
+      l1_kb = [ 64 ];
+      l2_kb = [ 8192 ];
+      budget = None;
+    }
+  in
+  match (run ?jobs spec, run ?jobs ~strategy:Guided spec) with
+  | Error e, _ | _, Error e -> failwith ("guided dse experiment: " ^ e)
+  | Ok ex, Ok gd ->
+    let labels r =
+      List.sort compare (List.map (fun o -> point_label o.point) r.front)
+    in
+    {
+      Experiments.table = table gd;
+      summary =
+        [
+          ("exhaustive_measured", float_of_int ex.measured);
+          ("guided_measured", float_of_int gd.measured);
+          ( "evaluated_fraction",
+            float_of_int gd.measured /. float_of_int (max 1 gd.exhaustive_count) );
+          ("frontier_match", if labels ex = labels gd then 1.0 else 0.0);
         ];
     }

@@ -83,6 +83,36 @@ val evaluate : point -> outcome
 val kind_to_string : Interconnect.kind -> string
 val kind_of_string : string -> (Interconnect.kind, string) result
 
+(** {2 Search strategies} *)
+
+(** How the lattice is explored. [Exhaustive] measures every point (or the
+    spec's greedy [budget] subset). [Guided] measures one calibration seed
+    per kernel, prices every remaining point with the analytical
+    {!Cost_model} surrogate, and runs surrogate-ranked successive halving
+    with τ-dominance pruning — stopping once every unmeasured candidate is
+    dominated by a measurement beyond the model's worst observed relative
+    error (floored at 10%), or at the hard cap of half the lattice. *)
+type strategy = Exhaustive | Guided
+
+(** Injectable search defects for mutation tests. [Inverted_rank] makes the
+    surrogate ranking worst-first: a healthy τ-stop and cap must then
+    demonstrably miss Pareto-frontier points, proving the ranking (not the
+    cap alone) is what finds the frontier cheaply. *)
+type defect = Inverted_rank
+
+val strategy_to_string : strategy -> string
+val strategy_of_string : string -> (strategy, string) result
+
+val predict_point :
+  scale:float -> point -> (float * float, string) result
+(** The surrogate: model-predicted (perf, perf-per-watt) for a point,
+    mirroring {!evaluate}'s derivations with {!Cost_model} cycle estimates
+    and {!Cost_model.predicted_activity} energy. [scale] is the kernel's
+    measured-over-model cycles-per-iteration calibration factor (the model
+    prices every access at the L1 hit latency; the scale absorbs the
+    kernel's average miss penalty). [Error] when the mapper rejects the
+    point. Pure and deterministic. *)
+
 (** {2 Pareto frontier} *)
 
 val dominates : outcome -> outcome -> bool
@@ -98,8 +128,12 @@ val ranked : outcome list -> outcome list
 
 (** {2 Checkpoints} *)
 
-val checkpoint_to_json : spec -> outcome list -> Json.t
-val checkpoint_of_json : Json.t -> (spec * outcome list, string) result
+val checkpoint_to_json : ?strategy:strategy -> spec -> outcome list -> Json.t
+(** The ["strategy"] field is emitted only for [Guided] (absent means
+    exhaustive), so checkpoints written before guided search existed — and
+    exhaustive ones written today — keep their exact byte format. *)
+
+val checkpoint_of_json : Json.t -> (spec * strategy * outcome list, string) result
 (** Inverse of {!checkpoint_to_json}: floats round-trip exactly (17
     significant digits), so a frontier computed over restored outcomes is
     bit-identical to one over freshly measured outcomes. *)
@@ -108,12 +142,17 @@ val checkpoint_of_json : Json.t -> (spec * outcome list, string) result
 
 type result = {
   spec : spec;
+  strategy : strategy;
   outcomes : outcome list;  (** assembly order: enumeration order for
                                 exhaustive sweeps, evaluation order for
-                                budgeted ones *)
+                                budgeted/guided ones *)
   front : outcome list;
   complete : bool;          (** false when [stop_after] cut the run short *)
   evaluated : int;          (** points measured fresh by this run *)
+  measured : int;           (** mapped outcomes over the whole run, fresh or
+                                restored — the numerator of the guided
+                                evaluated-fraction gate *)
+  exhaustive_count : int;   (** full lattice size, the denominator *)
   restored : int;           (** points restored from the checkpoint *)
   stats : Stats.snapshot;   (** the [dse] counter group *)
   timeline : Trace.span list;  (** one span per point on a virtual
@@ -125,6 +164,8 @@ val run :
   ?checkpoint:string ->
   ?resume:bool ->
   ?stop_after:int ->
+  ?strategy:strategy ->
+  ?defect:defect ->
   spec ->
   (result, string) Stdlib.result
 (** Execute the sweep. [checkpoint] names a JSON file rewritten (atomically,
@@ -132,14 +173,18 @@ val run :
     first — completed points are restored instead of re-measured (counted as
     [dse.cache_hits]) and the sweep continues where it left off. A missing
     checkpoint file under [resume] is a fresh start; a checkpoint for a
-    different spec is an error. [stop_after n] returns after [n] fresh
-    measurements (the test suite's deterministic stand-in for a kill).
-    [jobs] sizes the worker pool; the result is bit-identical for any
-    value. *)
+    different spec or strategy is an error. [stop_after n] returns after [n]
+    fresh measurements (the test suite's deterministic stand-in for a kill).
+    [jobs] sizes the worker pool; the result is bit-identical for any value.
+    [strategy] defaults to [Exhaustive]; [Guided] rejects specs with a
+    [budget] (it sets its own: at most half the lattice is measured).
+    [defect] injects a search defect for mutation tests. *)
 
 val result_to_json : result -> Json.t
-(** Spec, outcomes and frontier only — everything that must be bit-identical
-    between an interrupted-then-resumed sweep and an uninterrupted one. *)
+(** Spec, strategy, measured/exhaustive point counts, outcomes and frontier
+    — everything that must be bit-identical between an
+    interrupted-then-resumed sweep and an uninterrupted one (so not
+    [evaluated]/[restored], which legitimately differ). *)
 
 val table : ?top:int -> result -> Tables.t
 (** The ranked table ([top] rows, default all), frontier points starred. *)
@@ -148,3 +193,9 @@ val experiment : ?jobs:int -> unit -> Experiments.outcome
 (** The bench-harness entry: a small fixed sweep (nn and kmeans across four
     geometries, two port counts), summarized by frontier size and the best
     point on each axis. *)
+
+val guided_experiment : ?jobs:int -> unit -> Experiments.outcome
+(** Guided vs exhaustive on the same pinned sub-space: the guided run's
+    ranked table, summarized by measured-point counts on both strategies,
+    the guided evaluated fraction and whether the frontiers match
+    point-for-point (1.0 = yes). *)

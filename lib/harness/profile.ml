@@ -107,6 +107,45 @@ let of_report ~kernel (report : Controller.report) =
         dominant = dominant_of totals;
       }
 
+let of_attribution ~kernel ?(critical_path = ([], 0.0)) ?(mem_levels = [])
+    (a : Attribution.t) =
+  let grid = Attribution.grid a in
+  let nlanes = Attribution.lane_count a in
+  let cp_nodes, cp_lat = critical_path in
+  let cp_pct =
+    100.0 *. cp_lat
+    *. float_of_int (Attribution.iterations a)
+    /. float_of_int (max 1 (Attribution.engine_cycles a))
+  in
+  let totals = Attribution.totals a in
+  {
+    kernel;
+    grid_name = grid.Grid.name;
+    rows = grid.Grid.rows;
+    cols = grid.Grid.cols;
+    ls_entries = grid.Grid.ls_entries;
+    mem_ports = grid.Grid.mem_ports;
+    total_cycles = Attribution.total_cycles a;
+    accel_cycles = Attribution.engine_cycles a;
+    config_cycles = Attribution.config_cycles a;
+    attributed_cycles = Attribution.total_cycles a;
+    iterations = Attribution.iterations a;
+    windows = Attribution.windows a;
+    lane_labels = Array.init nlanes (Attribution.lane_label a);
+    lane_buckets = Array.init nlanes (Attribution.lane_buckets a);
+    totals;
+    ii = Attribution.ii_summary a;
+    critical_path = cp_nodes;
+    critical_path_latency = cp_lat;
+    critical_path_pct = cp_pct;
+    noc_claims = Attribution.noc_claims a;
+    noc_busy = Attribution.noc_busy a;
+    port_claims = Attribution.port_claims a;
+    port_busy = Attribution.port_busy a;
+    mem_levels;
+    dominant = dominant_of totals;
+  }
+
 let closes t =
   Array.for_all
     (fun b -> Array.fold_left ( + ) 0 b = t.attributed_cycles)

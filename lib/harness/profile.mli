@@ -53,6 +53,18 @@ val of_report : kernel:string -> Controller.report -> (t, string) result
 (** Summarize a profiled run. [Error] when the report carries no collector
     (the run was made without [profile:true]). *)
 
+val of_attribution :
+  kernel:string ->
+  ?critical_path:int list * float ->
+  ?mem_levels:(string * int) list ->
+  Attribution.t ->
+  t
+(** Summarize a bare engine-level run from its attribution collector (no
+    {!Controller.report} required — [total_cycles] is the attributed total,
+    there being no CPU side). [critical_path] is the chain to report (the
+    refinement pass feeds the cost model's); [mem_levels] the hierarchy
+    access mix if the caller kept the hierarchy around. *)
+
 val closes : t -> bool
 (** Every lane's bucket sum equals [attributed_cycles] and the totals row
     sums to [attributed_cycles * lanes] — the invariant tests and the CI

@@ -1,0 +1,61 @@
+(** Model-guided placement refinement over real kernels: the harness wiring
+    for {!Mapper.refine}.
+
+    The cost model ({!Cost_model}) predicts, the event engine confirms —
+    each candidate the model likes is re-executed end to end (fresh memory,
+    machine and hierarchy, outputs validated against the kernel's OCaml
+    reference), so an accepted refinement is a real, semantics-preserving
+    cycle win and the pass can never regress a kernel. *)
+
+type report = {
+  kernel : string;
+  baseline_cycles : int;     (** engine cycles of the Algorithm-1 placement *)
+  refined_cycles : int;      (** engine cycles of the refined placement *)
+  model_baseline : int;      (** cost-model estimate of the baseline *)
+  model_refined : int;       (** cost-model estimate of the result *)
+  rounds : int;
+  proposed : int;            (** candidates scored by the model *)
+  confirmed : int;           (** engine confirmations run *)
+  accepted : int;            (** moves/swaps adopted *)
+  iterations : int;          (** hot-loop trip count used throughout *)
+  placement : Placement.t;   (** the refined placement *)
+  baseline : Placement.t;    (** the Algorithm-1 placement it started from *)
+  config : Accel_config.t;   (** refined placement with the kernel's
+                                 optimization flags — ready to execute *)
+  dfg : Dfg.t;
+}
+
+val run :
+  ?seed:int ->
+  ?max_rounds:int ->
+  ?beam:int ->
+  ?kind:Interconnect.kind ->
+  ?grid:Grid.t ->
+  Kernel.t ->
+  (report, string) result
+(** Refine [kernel]'s Algorithm-1 placement on [grid] (default
+    {!Grid.m64}). Deterministic for fixed arguments: the model is pure, the
+    engine is deterministic, and ranking ties break on [seed] (default 0).
+    [Error] when the kernel cannot be mapped at all or its baseline
+    execution fails. *)
+
+val config_for : report -> Placement.t -> Accel_config.t
+(** The kernel's optimization flags around an arbitrary placement — what
+    [run] itself executes, exposed so differential tests can re-run the
+    refined placement through both engines. *)
+
+val profile : report -> Placement.t -> (Profile.t, string) result
+(** Execute [placement] under the report's configuration with an
+    attribution collector attached and summarize it — the
+    `refine --profile-out` backend and the CI `profile-diff` gate's input.
+    The profile's critical path is the cost model's chain for that
+    placement. *)
+
+val experiment : ?jobs:int -> unit -> Experiments.outcome
+(** The bench-harness entry: refine five reference kernels on M-64 and
+    tabulate baseline vs refined cycles with the search counters. [jobs] is
+    accepted for registry uniformity; the pass itself is sequential. *)
+
+val report_to_json : report -> Json.t
+(** Stable summary (no placement dump): kernel, cycle counts, model
+    estimates, and search counters. *)

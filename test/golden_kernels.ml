@@ -12,9 +12,16 @@
 
      dune runtest; dune promote
 
-   (or `dune build @runtest --auto-promote`). *)
+   (or `dune build @runtest --auto-promote`).
+
+   A "refine" section pins the model-guided refinement pass on five
+   reference kernels: the Algorithm-1 baseline cycles, the refined cycles
+   (engine-confirmed, so never worse) and the accepted-move count. Any
+   change to the cost model's ranking or the refinement search shows up
+   here as a diff. *)
 
 let generated_seeds = [ 101; 202; 303 ]
+let refined_kernels = [ "nn"; "kmeans"; "bfs"; "cfd"; "hotspot" ]
 
 let entry_of options name prepare program check =
   let mem = Main_memory.create () in
@@ -66,4 +73,20 @@ let () =
           b.Tile_lower.program b.Tile_lower.check)
       generated_seeds
   in
-  print_string (Json.to_string ~indent:2 (Json.Assoc (suite @ generated)))
+  let refined =
+    List.map
+      (fun name ->
+        match Refine.run ~seed:0 (Workloads.find name) with
+        | Error e -> failwith (Printf.sprintf "refine %s: %s" name e)
+        | Ok r ->
+          ( "refine-" ^ name,
+            Json.Assoc
+              [
+                ("baseline_cycles", Json.Int r.Refine.baseline_cycles);
+                ("refined_cycles", Json.Int r.Refine.refined_cycles);
+                ("accepted", Json.Int r.Refine.accepted);
+              ] ))
+      refined_kernels
+  in
+  print_string
+    (Json.to_string ~indent:2 (Json.Assoc (suite @ generated @ refined)))

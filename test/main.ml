@@ -29,6 +29,8 @@ let () =
          Test_cse.suites;
          Test_fault.suites;
          Test_dse.suites;
+         Test_cost_model.suites;
+         Test_refine.suites;
          Test_profile.suites;
          Test_gen.suites;
          Test_service.suites;

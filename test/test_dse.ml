@@ -194,19 +194,38 @@ let gen_checkpoint =
     opt (int_range 1 20) >>= fun budget ->
     return { Dse.kernels; grids; ports; kinds; l1_kb; l2_kb; budget }
   in
-  pair spec (list_size (0 -- 8) gen_saved_outcome)
+  triple spec
+    (oneofl [ Dse.Exhaustive; Dse.Guided ])
+    (list_size (0 -- 8) gen_saved_outcome)
 
-let print_checkpoint (spec, outs) =
-  Json.to_string ~indent:2 (Dse.checkpoint_to_json spec outs)
+let print_checkpoint (spec, strategy, outs) =
+  Json.to_string ~indent:2 (Dse.checkpoint_to_json ~strategy spec outs)
 
 let checkpoint_roundtrip_random =
   QCheck2.Test.make
     ~name:"checkpoint decode after encode is the identity" ~count:200
-    ~print:print_checkpoint gen_checkpoint (fun (spec, outs) ->
-      let text = Json.to_string ~indent:2 (Dse.checkpoint_to_json spec outs) in
+    ~print:print_checkpoint gen_checkpoint (fun (spec, strategy, outs) ->
+      let text =
+        Json.to_string ~indent:2 (Dse.checkpoint_to_json ~strategy spec outs)
+      in
       match Result.bind (Json.of_string text) Dse.checkpoint_of_json with
       | Error _ -> false
-      | Ok (spec', outs') -> spec' = spec && outs' = outs)
+      | Ok (spec', strategy', outs') ->
+        spec' = spec && strategy' = strategy && outs' = outs)
+
+let checkpoint_strategy_field_compat () =
+  (* Exhaustive checkpoints carry no strategy field at all — the pre-guided
+     byte format — and decode as Exhaustive. *)
+  let j = Dse.checkpoint_to_json Dse.default_spec [] in
+  check Alcotest.bool "no strategy field when exhaustive" true
+    (Json.member "strategy" j = None);
+  (match Dse.checkpoint_of_json j with
+  | Ok (_, Dse.Exhaustive, []) -> ()
+  | _ -> Alcotest.fail "absent strategy must decode as Exhaustive");
+  let jg = Dse.checkpoint_to_json ~strategy:Dse.Guided Dse.default_spec [] in
+  match Dse.checkpoint_of_json jg with
+  | Ok (_, Dse.Guided, []) -> ()
+  | _ -> Alcotest.fail "guided strategy must round-trip"
 
 (* -------------------- resumable runs -------------------- *)
 
@@ -229,8 +248,8 @@ let with_ckpt_file f =
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
     (fun () -> f path)
 
-let run_exn ?jobs ?checkpoint ?resume ?stop_after spec =
-  match Dse.run ?jobs ?checkpoint ?resume ?stop_after spec with
+let run_exn ?jobs ?checkpoint ?resume ?stop_after ?strategy ?defect spec =
+  match Dse.run ?jobs ?checkpoint ?resume ?stop_after ?strategy ?defect spec with
   | Ok r -> r
   | Error e -> Alcotest.fail ("Dse.run: " ^ e)
 
@@ -258,7 +277,7 @@ let resume_is_bit_identical () =
       close_in ic;
       match Result.bind (Json.of_string text) Dse.checkpoint_of_json with
       | Error e -> Alcotest.fail ("final checkpoint unreadable: " ^ e)
-      | Ok (_, outs) ->
+      | Ok (_, _, outs) ->
         check Alcotest.int "checkpoint holds all points" 8 (List.length outs))
 
 let jobs_value_is_immaterial () =
@@ -298,6 +317,108 @@ let budget_run_is_deterministic () =
       check Alcotest.string "budgeted resume bit-identical" (result_text a)
         (result_text resumed))
 
+(* -------------------- guided strategy -------------------- *)
+
+(* The pinned sub-space the guided strategy is gated on (also the CI smoke
+   job's sweep): two kernels across four geometries and two port counts.
+   Small enough to sweep exhaustively, rich enough that the frontier is not
+   just the seed points. *)
+let guided_spec =
+  {
+    Dse.kernels = [ "nn"; "kmeans" ];
+    grids = [ (4, 4); (8, 4); (8, 8); (16, 8) ];
+    ports = [ 2; 8 ];
+    kinds = [ Interconnect.Mesh_noc ];
+    l1_kb = [ 64 ];
+    l2_kb = [ 8192 ];
+    budget = None;
+  }
+
+let front_labels (r : Dse.result) =
+  List.sort compare
+    (List.map (fun (o : Dse.outcome) -> Dse.point_label o.Dse.point) r.Dse.front)
+
+let guided_reaches_frontier_cheaply () =
+  let ex = run_exn ~jobs:2 guided_spec in
+  let gd = run_exn ~jobs:2 ~strategy:Dse.Guided guided_spec in
+  (* The whole point: the exhaustive Pareto frontier, point for point, from
+     a fraction of the measurements. *)
+  check
+    Alcotest.(list string)
+    "frontier point-for-point" (front_labels ex) (front_labels gd);
+  check Alcotest.bool "at most half the lattice measured" true
+    (2 * gd.Dse.measured <= gd.Dse.exhaustive_count);
+  check Alcotest.bool "strictly fewer measurements than exhaustive" true
+    (gd.Dse.measured < ex.Dse.measured);
+  let get p =
+    match Stats.find gd.Dse.stats p with
+    | Some (Stats.VInt i) -> i
+    | _ -> Alcotest.fail ("missing dse stat " ^ p)
+  in
+  check Alcotest.int "points_measured stat" gd.Dse.measured
+    (get "dse.points_measured");
+  check Alcotest.int "exhaustive_count stat" gd.Dse.exhaustive_count
+    (get "dse.exhaustive_count");
+  check Alcotest.bool "halving batches dispatched" true
+    (get "dse.guided_batches" > 0)
+
+let inverted_rank_misses_frontier () =
+  (* Mutation test: ranking worst-first must demonstrably break the search —
+     the cap bites before the frontier points are reached — proving the
+     surrogate ranking (not the cap alone) is what finds the frontier. *)
+  let ex = run_exn ~jobs:2 guided_spec in
+  let bad =
+    run_exn ~jobs:2 ~strategy:Dse.Guided ~defect:Dse.Inverted_rank guided_spec
+  in
+  check Alcotest.bool "defective ranking misses the frontier" true
+    (front_labels bad <> front_labels ex)
+
+let guided_resume_and_jobs_identical () =
+  let a = run_exn ~jobs:1 ~strategy:Dse.Guided guided_spec in
+  let b = run_exn ~jobs:4 ~strategy:Dse.Guided guided_spec in
+  check Alcotest.string "jobs=1 equals jobs=4" (result_text a) (result_text b);
+  with_ckpt_file (fun ckpt ->
+      let cut =
+        run_exn ~jobs:2 ~checkpoint:ckpt ~stop_after:3 ~strategy:Dse.Guided
+          guided_spec
+      in
+      check Alcotest.bool "interrupted" false cut.Dse.complete;
+      let resumed =
+        run_exn ~jobs:4 ~checkpoint:ckpt ~resume:true ~strategy:Dse.Guided
+          guided_spec
+      in
+      check Alcotest.string "guided resume bit-identical" (result_text a)
+        (result_text resumed);
+      (* The checkpoint left behind equals, byte for byte, one written by an
+         uninterrupted guided run. *)
+      let ic = open_in_bin ckpt in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let direct =
+        Json.to_string ~indent:2
+          (Dse.checkpoint_to_json ~strategy:Dse.Guided guided_spec
+             a.Dse.outcomes)
+        ^ "\n"
+      in
+      check Alcotest.string "final checkpoint byte-identical" direct text)
+
+let guided_guardrails () =
+  (* An exhaustive resume must not silently consume a guided checkpoint. *)
+  with_ckpt_file (fun ckpt ->
+      let _ =
+        run_exn ~jobs:1 ~checkpoint:ckpt ~stop_after:1 ~strategy:Dse.Guided
+          guided_spec
+      in
+      match Dse.run ~checkpoint:ckpt ~resume:true guided_spec with
+      | Error _ -> ()
+      | Ok _ ->
+        Alcotest.fail "exhaustive resume from a guided checkpoint must be rejected");
+  match
+    Dse.run ~strategy:Dse.Guided { guided_spec with Dse.budget = Some 4 }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "guided strategy with a spec budget must be rejected"
+
 let stats_and_timeline () =
   let r = run_exn ~jobs:2 small_spec in
   let s = r.Dse.stats in
@@ -328,12 +449,21 @@ let suites =
         Alcotest.test_case "dominates axioms" `Quick dominates_axioms;
         QCheck_alcotest.to_alcotest frontier_is_exactly_the_nondominated_set;
         QCheck_alcotest.to_alcotest checkpoint_roundtrip_random;
+        Alcotest.test_case "checkpoint strategy field compat" `Quick
+          checkpoint_strategy_field_compat;
         Alcotest.test_case "resume is bit-identical" `Slow resume_is_bit_identical;
         Alcotest.test_case "jobs value immaterial" `Slow jobs_value_is_immaterial;
         Alcotest.test_case "mismatched checkpoint rejected" `Quick
           mismatched_checkpoint_rejected;
         Alcotest.test_case "budgeted run deterministic" `Slow
           budget_run_is_deterministic;
+        Alcotest.test_case "guided reaches frontier cheaply" `Slow
+          guided_reaches_frontier_cheaply;
+        Alcotest.test_case "inverted rank misses frontier" `Slow
+          inverted_rank_misses_frontier;
+        Alcotest.test_case "guided resume and jobs identical" `Slow
+          guided_resume_and_jobs_identical;
+        Alcotest.test_case "guided guardrails" `Quick guided_guardrails;
         Alcotest.test_case "stats and timeline" `Quick stats_and_timeline;
       ] );
   ]
