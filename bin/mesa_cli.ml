@@ -1205,11 +1205,28 @@ let serve_cmd =
       value
       & opt (some string) None
       & info [ "stats-out" ] ~docv:"FILE"
-          ~doc:"Write the final drained stats snapshot as JSON on shutdown.")
+          ~doc:
+            "Write the stats snapshot as JSON: the final drained snapshot \
+             on shutdown, and (with --profile-window) a fresh one on every \
+             completed profiling window. Writes are atomic (tmp + rename), \
+             so a concurrent reader always sees a complete snapshot.")
+  in
+  let profile_window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "profile-window" ] ~docv:"N"
+          ~doc:
+            "Profile every N-th clean run (pure observation; results stay \
+             bit-identical) and feed the measured per-node oracles into a \
+             background refine pass whose confirmed-faster placements are \
+             swapped into the warm translation memo — subsequent requests \
+             for that kernel can only get faster. Progress is counted in \
+             the telemetry stats group.")
   in
   let run socket shards shard_pes jobs queue_depth max_retries
       breaker_threshold breaker_cooldown default_deadline seed no_warm
-      stats_out =
+      stats_out profile_window =
     let cfg =
       {
         Service.default_config with
@@ -1227,6 +1244,7 @@ let serve_cmd =
         seed;
         default_deadline_ms = default_deadline;
         warm = not no_warm;
+        profile_window;
       }
     in
     match Mesad.start ~service_config:cfg ~socket () with
@@ -1234,6 +1252,31 @@ let serve_cmd =
     | exception Unix.Unix_error (err, _, _) ->
       Error (`Msg (socket ^ ": " ^ Unix.error_message err))
     | d ->
+      (* Atomic snapshot flush: write beside the target, then rename, so a
+         reader polling the file mid-run never sees a torn JSON object.
+         One lock serializes window-hook flushes from concurrent workers
+         against each other and against the final shutdown write. *)
+      let flush_lock = Mutex.create () in
+      let write_stats snap =
+        Option.iter
+          (fun path ->
+            Mutex.lock flush_lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock flush_lock)
+              (fun () ->
+                try
+                  let tmp = path ^ ".tmp" in
+                  let oc = open_out tmp in
+                  output_string oc (Json.to_string (Stats.to_json snap));
+                  output_char oc '\n';
+                  close_out oc;
+                  Sys.rename tmp path
+                with Sys_error e ->
+                  Printf.eprintf "mesad: stats flush failed: %s\n%!" e))
+          stats_out
+      in
+      if profile_window <> None then
+        Service.set_on_window (Mesad.service d) write_stats;
       let stop_requested = Atomic.make false in
       let request _ = Atomic.set stop_requested true in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle request);
@@ -1245,13 +1288,7 @@ let serve_cmd =
       done;
       Printf.printf "mesad: draining\n%!";
       let snap = Mesad.stop d in
-      (match stats_out with
-      | None -> ()
-      | Some path ->
-        let oc = open_out path in
-        output_string oc (Json.to_string (Stats.to_json snap));
-        output_char oc '\n';
-        close_out oc);
+      write_stats snap;
       Printf.printf "mesad: drained, %s request(s) served\n%!"
         (match Stats.find_int snap "service.admitted" with
         | Some n -> string_of_int n
@@ -1270,7 +1307,7 @@ let serve_cmd =
       term_result
         (const run $ socket_arg $ shards $ shard_pes $ jobs $ queue_depth
        $ max_retries $ breaker_threshold $ breaker_cooldown
-       $ default_deadline $ seed $ no_warm $ stats_out))
+       $ default_deadline $ seed $ no_warm $ stats_out $ profile_window))
 
 let loadgen_cmd =
   let requests =
@@ -1443,8 +1480,435 @@ let loadgen_cmd =
        $ chaos $ chaos_rate $ injects $ deadline_ms $ no_fallback_rate $ out
        $ require_zero_internal $ require_recoveries))
 
+(* ---------------- live telemetry clients ---------------- *)
+
+let connect_daemon socket =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send_request oc req =
+  output_string oc (Proto.request_to_line req);
+  output_char oc '\n';
+  flush oc
+
+(* Consume a watch/trace stream: [on_body] handles each response body
+   until [End_stream], connection close (a drain ends endless streams this
+   way) or an error. Returns how many bodies were handled. *)
+let stream_responses ic ~on_body =
+  let rec loop n =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> Ok n
+    | line -> (
+      match Json.of_string line with
+      | Error e -> Error ("unparseable response: " ^ e)
+      | Ok j -> (
+        match Proto.response_of_json j with
+        | Error e -> Error ("bad response: " ^ e)
+        | Ok { Proto.body = Proto.End_stream; _ } -> Ok n
+        | Ok { Proto.body = Proto.Err e; _ } ->
+          Error (Proto.error_kind_to_string e.Proto.kind ^ ": " ^ e.Proto.message)
+        | Ok rsp -> (
+          match on_body rsp.Proto.body with
+          | Ok () -> loop (n + 1)
+          | Error _ as err -> err)))
+  in
+  loop 0
+
+let interval_ms_arg default =
+  Arg.(
+    value
+    & opt float default
+    & info [ "interval-ms" ] ~docv:"MS" ~doc:"Frame cadence in milliseconds.")
+
+let watch_cmd =
+  let frames =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Stop after N frames; default: until the daemon drains.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Also append each frame line to FILE (flushed per frame) — the \
+             input `mesa_cli telemetry-check` gates on.")
+  in
+  let run socket interval_ms frames out =
+    match connect_daemon socket with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (`Msg (socket ^ ": " ^ Unix.error_message err))
+    | fd, ic, oc ->
+      let out_oc = Option.map open_out out in
+      send_request oc
+        (Proto.Watch (Proto.watch_request ~interval_ms ?frames ~id:1 ()));
+      let emit text =
+        print_string text;
+        print_newline ();
+        flush stdout;
+        Option.iter
+          (fun o ->
+            output_string o text;
+            output_char o '\n';
+            flush o)
+          out_oc
+      in
+      let r =
+        stream_responses ic ~on_body:(function
+          | Proto.Frame j ->
+            emit (Json.to_string ~indent:0 j);
+            Ok ()
+          | _ -> Error "unexpected response in watch stream")
+      in
+      Option.iter close_out out_oc;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match r with
+      | Ok n ->
+        Printf.eprintf "watch: %d frame(s)\n%!" n;
+        Ok ()
+      | Error e -> Error (`Msg e))
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Subscribe to a running mesad's metrics stream and print one \
+          mesa-telemetry-v1 frame (JSON, one line) per tick: per-outcome \
+          latency quantiles over a sliding window, per-kernel cycle \
+          quantiles with profiling/refine progress, and the raw counter \
+          deltas and totals. An endless stream ends cleanly when the \
+          daemon drains.")
+    Term.(
+      term_result
+        (const run $ socket_arg $ interval_ms_arg 250.0 $ frames $ out))
+
+let print_frame (f : Telemetry.frame) =
+  Printf.printf "mesad telemetry — frame %d  t=%.0f ms  shed-ticks=%d\n"
+    f.Telemetry.f_seq f.Telemetry.f_at_ms f.Telemetry.f_dropped;
+  Printf.printf "%-22s %8s %6s | window %6s %9s %9s %9s\n" "outcome" "total"
+    "delta" "n" "p50 ms" "p99 ms" "max ms";
+  List.iter
+    (fun (name, (r : Telemetry.outcome_row)) ->
+      let q = r.Telemetry.o_window in
+      Printf.printf "  %-20s %8d %6d | %13d %9.2f %9.2f %9.2f\n" name
+        r.Telemetry.o_total r.Telemetry.o_delta q.Telemetry.q_count
+        q.Telemetry.q_p50 q.Telemetry.q_p99 q.Telemetry.q_max)
+    f.Telemetry.f_outcomes;
+  if f.Telemetry.f_kernels <> [] then begin
+    Printf.printf "%-22s | window %6s %11s %11s %9s %8s\n" "kernel" "n"
+      "p50 cycles" "max cycles" "profiled" "refined";
+    List.iter
+      (fun (name, (k : Telemetry.kernel_row)) ->
+        let q = k.Telemetry.k_window in
+        Printf.printf "  %-20s | %13d %11.0f %11.0f %9d %8d\n" name
+          q.Telemetry.q_count q.Telemetry.q_p50 q.Telemetry.q_max
+          k.Telemetry.k_profile_windows k.Telemetry.k_refine_accepts)
+      f.Telemetry.f_kernels
+  end;
+  print_string "totals:\n";
+  List.iter
+    (fun (path, v) -> Printf.printf "  %s %d\n" path v)
+    f.Telemetry.f_totals;
+  flush stdout
+
+let top_cmd =
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Print a single frame and exit (greppable `path value` totals \
+             — what the CI smoke test polls for refine acceptances).")
+  in
+  let run socket interval_ms once =
+    match connect_daemon socket with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (`Msg (socket ^ ": " ^ Unix.error_message err))
+    | fd, ic, oc ->
+      let frames = if once then Some 1 else None in
+      send_request oc
+        (Proto.Watch (Proto.watch_request ~interval_ms ?frames ~id:1 ()));
+      let r =
+        stream_responses ic ~on_body:(function
+          | Proto.Frame j -> (
+            match Telemetry.frame_of_json j with
+            | Error e -> Error ("bad frame: " ^ e)
+            | Ok f ->
+              if not once then print_string "\027[2J\027[H";
+              print_frame f;
+              Ok ())
+          | _ -> Error "unexpected response in watch stream")
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match r with Ok _ -> Ok () | Error e -> Error (`Msg e))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a running mesad: per-outcome latency and \
+          per-kernel cycle quantiles over the daemon's sliding window, \
+          refreshed in place every tick until interrupted (or once, with \
+          $(b,--once)).")
+    Term.(term_result (const run $ socket_arg $ interval_ms_arg 1000.0 $ once))
+
+let trace_cmd =
+  let spans =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spans" ] ~docv:"N"
+          ~doc:"Stop after N spans; default: until the daemon drains.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the stream to FILE.")
+  in
+  let perfetto =
+    Arg.(
+      value & flag
+      & info [ "perfetto" ]
+          ~doc:
+            "Emit one Chrome trace_event JSON document (load it in \
+             ui.perfetto.dev; one thread lane per shard) instead of \
+             line-delimited span JSON. Buffers until the stream ends.")
+  in
+  let run socket spans out perfetto =
+    match connect_daemon socket with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (`Msg (socket ^ ": " ^ Unix.error_message err))
+    | fd, ic, oc ->
+      let out_oc = if perfetto then None else Option.map open_out out in
+      send_request oc (Proto.Trace (Proto.trace_request ?spans ~id:2 ()));
+      let collected = ref [] in
+      let r =
+        stream_responses ic ~on_body:(function
+          | Proto.Span j -> (
+            match Telemetry.span_of_json j with
+            | Error e -> Error ("bad span: " ^ e)
+            | Ok sp ->
+              if perfetto then collected := sp :: !collected
+              else begin
+                let text = Json.to_string ~indent:0 j in
+                print_string text;
+                print_newline ();
+                flush stdout;
+                Option.iter
+                  (fun o ->
+                    output_string o text;
+                    output_char o '\n';
+                    flush o)
+                  out_oc
+              end;
+              Ok ())
+          | _ -> Error "unexpected response in trace stream")
+      in
+      Option.iter close_out out_oc;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match r with
+      | Error e -> Error (`Msg e)
+      | Ok n ->
+        if perfetto then begin
+          let doc =
+            Trace.to_string
+              (List.rev_map Telemetry.to_trace_span !collected)
+          in
+          match out with
+          | None ->
+            print_string doc;
+            print_newline ()
+          | Some path -> (
+            match write_text path doc with
+            | Ok () -> Printf.eprintf "trace: %d span(s) -> %s\n%!" n path
+            | Error (`Msg e) -> failwith e)
+        end
+        else Printf.eprintf "trace: %d span(s)\n%!" n;
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Subscribe to a running mesad's request-lifecycle span stream \
+          (admit/queue/translate/execute/retry/breaker/resolve, plus the \
+          profiling-window feedback loop's events) as line-delimited JSON, \
+          or as a Perfetto-loadable Chrome trace with $(b,--perfetto). A \
+          consumer slower than the daemon's bounded span ring skips \
+          forward; delivered spans keep their order and sequence numbers.")
+    Term.(term_result (const run $ socket_arg $ spans $ out $ perfetto))
+
+let telemetry_check_cmd =
+  let frames_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FRAMES"
+          ~doc:"Line-delimited frame JSON from `mesa_cli watch --out`.")
+  in
+  let stats_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Final stats snapshot from `serve --stats-out`; the stream's \
+             summed per-outcome deltas must close exactly against its \
+             totals.")
+  in
+  let require_oracle =
+    Arg.(
+      value & flag
+      & info [ "require-oracle-refresh" ]
+          ~doc:
+            "Exit non-zero unless at least one profiling window handed \
+             measured oracles to the refiner.")
+  in
+  let require_refine =
+    Arg.(
+      value & flag
+      & info [ "require-refine-accept" ]
+          ~doc:
+            "Exit non-zero unless at least one background refinement was \
+             confirmed and swapped into the warm translation memo.")
+  in
+  let run frames_path stats_path require_oracle require_refine =
+    let parse_line i line =
+      match Json.of_string line with
+      | Error e -> Error (Printf.sprintf "line %d: %s" (i + 1) e)
+      | Ok j ->
+        Result.map_error
+          (fun e -> Printf.sprintf "line %d: %s" (i + 1) e)
+          (Telemetry.frame_of_json j)
+    in
+    match In_channel.with_open_text frames_path In_channel.input_lines with
+    | exception Sys_error e -> Error (`Msg ("cannot read " ^ e))
+    | lines -> (
+      let lines = List.filter (fun l -> String.trim l <> "") lines in
+      let parsed = List.mapi parse_line lines in
+      let frames =
+        List.filter_map (function Ok f -> Some f | Error _ -> None) parsed
+      in
+      let failures = ref [] in
+      let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+      List.iter
+        (function Error e -> fail "unparseable frame: %s" e | Ok _ -> ())
+        parsed;
+      (match frames with
+      | [] -> fail "no frames in %s" frames_path
+      | first :: _ ->
+        (* Per-watcher frame sequence is gap-free and monotone; the hub
+           clock and the shed-tick counter never go backwards. *)
+        List.iteri
+          (fun i (f : Telemetry.frame) ->
+            if f.Telemetry.f_seq <> first.Telemetry.f_seq + i then
+              fail "frame %d: seq %d, expected %d" i f.Telemetry.f_seq
+                (first.Telemetry.f_seq + i))
+          frames;
+        ignore
+          (List.fold_left
+             (fun (prev : Telemetry.frame) (f : Telemetry.frame) ->
+               if f.Telemetry.f_at_ms < prev.Telemetry.f_at_ms then
+                 fail "frame %d: at_ms went backwards" f.Telemetry.f_seq;
+               if f.Telemetry.f_dropped < prev.Telemetry.f_dropped then
+                 fail "frame %d: dropped went backwards" f.Telemetry.f_seq;
+               f)
+             first (List.tl frames));
+        let last = List.nth frames (List.length frames - 1) in
+        (* Closure: a watcher's baseline starts empty, so per-outcome
+           deltas summed over the whole stream telescope to the final
+           totals — if a frame was lost or fabricated, the sum breaks. *)
+        let delta_sum name =
+          List.fold_left
+            (fun acc (f : Telemetry.frame) ->
+              match List.assoc_opt name f.Telemetry.f_outcomes with
+              | Some (r : Telemetry.outcome_row) -> acc + r.Telemetry.o_delta
+              | None -> acc)
+            0 frames
+        in
+        List.iter
+          (fun (name, (r : Telemetry.outcome_row)) ->
+            let sum = delta_sum name in
+            if sum <> r.Telemetry.o_total then
+              fail "outcome %s: summed deltas %d <> final total %d" name sum
+                r.Telemetry.o_total)
+          last.Telemetry.f_outcomes;
+        let last_total path =
+          Option.value ~default:0
+            (List.assoc_opt path last.Telemetry.f_totals)
+        in
+        (match stats_path with
+        | None -> ()
+        | Some path -> (
+          match read_json path with
+          | Error (`Msg e) -> fail "%s" e
+          | Ok j -> (
+            match Stats.of_json j with
+            | Error e -> fail "%s: %s" path e
+            | Ok snap ->
+              List.iter
+                (fun (name, (r : Telemetry.outcome_row)) ->
+                  let stat =
+                    Option.value ~default:0
+                      (Stats.find_int snap ("service.outcomes." ^ name))
+                  in
+                  if stat <> r.Telemetry.o_total then
+                    fail
+                      "outcome %s: stream total %d <> stats snapshot %d"
+                      name r.Telemetry.o_total stat)
+                last.Telemetry.f_outcomes)));
+        let gate_counter path required =
+          if required then begin
+            let n =
+              match stats_path with
+              | None -> last_total path
+              | Some sp -> (
+                match read_json sp with
+                | Ok j -> (
+                  match Stats.of_json j with
+                  | Ok snap ->
+                    Option.value ~default:0 (Stats.find_int snap path)
+                  | Error _ -> last_total path)
+                | Error _ -> last_total path)
+            in
+            if n < 1 then fail "gate: %s = %d (must be > 0)" path n
+          end
+        in
+        gate_counter "telemetry.oracle_refreshes" require_oracle;
+        gate_counter "telemetry.refine_accepts" require_refine);
+      match List.rev !failures with
+      | [] ->
+        Printf.printf
+          "telemetry-check: OK (%d frame(s), deltas close against totals%s)\n"
+          (List.length frames)
+          (if stats_path = None then "" else " and the stats snapshot");
+        Ok ()
+      | fs ->
+        List.iter prerr_endline fs;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "telemetry-check"
+       ~doc:
+         "Validate a recorded watch stream: every frame parses, sequence \
+          numbers are gap-free, the clock and shed counters are monotone, \
+          and the per-outcome deltas summed over the stream close exactly \
+          against the final totals (and, with $(b,--stats), against the \
+          daemon's drained stats snapshot). Optional gates assert the \
+          profiling-window feedback loop actually fired. The CI telemetry \
+          smoke job runs this over the artifact it uploads.")
+    Term.(
+      term_result
+        (const run $ frames_arg $ stats_arg $ require_oracle $ require_refine))
+
 let () =
   let doc = "MESA: microarchitecture extensions for spatial architecture generation" in
   let info = Cmd.info "mesa_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; profile_cmd; profile_diff_cmd; stats_diff_cmd; bench_cmd; refine_cmd; dse_cmd; fuzz_cmd; serve_cmd; loadgen_cmd ]))
+       [ list_cmd; disasm_cmd; dfg_cmd; map_cmd; schedule_cmd; imap_cmd; anneal_cmd; run_cmd; profile_cmd; profile_diff_cmd; stats_diff_cmd; bench_cmd; refine_cmd; dse_cmd; fuzz_cmd; serve_cmd; loadgen_cmd; watch_cmd; top_cmd; trace_cmd; telemetry_check_cmd ]))

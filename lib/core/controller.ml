@@ -60,6 +60,7 @@ type region_report = {
   quarantines : int;
   critical_path : int list;
   critical_path_latency : float;
+  measured : Stats.snapshot option;
 }
 
 type report = {
@@ -209,6 +210,10 @@ let run ?options ?hier ?stats prog machine =
     if opts.profile then Some (Attribution.create ~grid:opts.grid ()) else None
   in
   let profile_models : (int, Perf_model.t) Hashtbl.t = Hashtbl.create 8 in
+  (* Last clean window's measured per-node/per-edge snapshot, per region —
+     surfaced in the region report so a service-level profiling window can
+     feed the cost model's measured oracles without re-running the engine. *)
+  let measured_snaps : (int, Stats.snapshot) Hashtbl.t = Hashtbl.create 8 in
   let charge_att cycles =
     match att with Some a -> Attribution.charge_config a cycles | None -> ()
   in
@@ -435,7 +440,8 @@ let run ?options ?hier ?stats prog machine =
               Hashtbl.add profile_models entry pm;
               pm
           in
-          Optimizer.absorb pm res
+          Optimizer.absorb pm res;
+          Hashtbl.replace measured_snaps entry res.Engine.measured
         | None -> ());
         emit
           (Trace.span ~cat:"fabric" ~ts:window_start ~dur:res.Engine.cycles
@@ -612,6 +618,7 @@ let run ?options ?hier ?stats prog machine =
                 quarantines = 0;
                 critical_path = [];
                 critical_path_latency = 0.0;
+                measured = None;
               }
               :: !rejected)
         | Some (Loop_detector.Rejected { entry; reason }) ->
@@ -641,6 +648,7 @@ let run ?options ?hier ?stats prog machine =
               quarantines = 0;
               critical_path = [];
               critical_path_latency = 0.0;
+              measured = None;
             }
             :: !rejected
         | None -> ())
@@ -679,6 +687,9 @@ let run ?options ?hier ?stats prog machine =
           quarantines = c.Config_manager.quarantines;
           critical_path = Perf_model.critical_path cp_model;
           critical_path_latency = Perf_model.iteration_latency cp_model;
+          measured =
+            Hashtbl.find_opt measured_snaps
+              c.Config_manager.region.Region.entry;
         })
       (Config_manager.entries cache)
   in

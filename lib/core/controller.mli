@@ -84,6 +84,13 @@ type region_report = {
           rejected regions *)
   critical_path_latency : float;
       (** modeled latency of one iteration along that path (Eq. 2) *)
+  measured : Stats.snapshot option;
+      (** the last clean engine window's measured per-node/per-edge
+          snapshot (["node.<i>.latency"], ["node.<i>.amat"], ...) when
+          [options.profile] was set — the input
+          {!Cost_model.op_oracle_of_measured} and
+          {!Cost_model.mem_oracle_of_measured} consume; [None] when
+          profiling was off or no clean window completed *)
 }
 
 type report = {

@@ -54,10 +54,15 @@ let execute_once ?attribution ~(k : Kernel.t) ~dfg config =
       | Error e -> finish (Error ("output check failed: " ^ e))
       | Ok () -> finish (Ok res))
 
-let run ?(seed = 0) ?max_rounds ?beam ?(kind = Interconnect.Mesh_noc)
-    ?(grid = Grid.m64) (k : Kernel.t) =
+let run_core ?(seed = 0) ?max_rounds ?beam ~kind ~grid ?baseline ?measured
+    (k : Kernel.t) =
   let dfg = Runner.dfg_of_kernel k in
-  match Runner.placement_of ~kind ~grid k with
+  let baseline =
+    match baseline with
+    | Some p -> Ok p
+    | None -> Runner.placement_of ~kind ~grid k
+  in
+  match baseline with
   | Error e -> Error e
   | Ok baseline -> (
     let config_of = config_around ~k ~dfg ~grid in
@@ -66,8 +71,17 @@ let run ?(seed = 0) ?max_rounds ?beam ?(kind = Interconnect.Mesh_noc)
     | Ok base_res ->
       let iterations = base_res.Engine.iterations in
       let horizon = model_horizon iterations in
+      (* A measured snapshot (a profiled engine window) tightens the
+         model: per-node firing latencies and AMATs replace the static
+         tables, so the ranking reflects the fabric this kernel actually
+         saw rather than the generic seed. *)
+      let op_latency = Option.map Cost_model.op_oracle_of_measured measured in
+      let mem_latency =
+        Option.map Cost_model.mem_oracle_of_measured measured
+      in
       let predict pl =
-        Cost_model.estimate ~config:(config_of pl) ~dfg ~iterations:horizon ()
+        Cost_model.estimate ?op_latency ?mem_latency ~config:(config_of pl)
+          ~dfg ~iterations:horizon ()
       in
       let confirm pl =
         match execute_once ~k ~dfg (config_of pl) with
@@ -95,6 +109,14 @@ let run ?(seed = 0) ?max_rounds ?beam ?(kind = Interconnect.Mesh_noc)
           config = config_of r.Mapper.placement;
           dfg;
         })
+
+let run ?seed ?max_rounds ?beam ?(kind = Interconnect.Mesh_noc)
+    ?(grid = Grid.m64) (k : Kernel.t) =
+  run_core ?seed ?max_rounds ?beam ~kind ~grid k
+
+let run_measured ?seed ?max_rounds ?beam ?(kind = Interconnect.Mesh_noc)
+    ?(grid = Grid.m64) ?baseline ~measured (k : Kernel.t) =
+  run_core ?seed ?max_rounds ?beam ~kind ~grid ?baseline ~measured k
 
 let config_for (r : report) placement =
   let grid = placement.Placement.grid in

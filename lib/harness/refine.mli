@@ -39,6 +39,26 @@ val run :
     [Error] when the kernel cannot be mapped at all or its baseline
     execution fails. *)
 
+val run_measured :
+  ?seed:int ->
+  ?max_rounds:int ->
+  ?beam:int ->
+  ?kind:Interconnect.kind ->
+  ?grid:Grid.t ->
+  ?baseline:Placement.t ->
+  measured:Stats.snapshot ->
+  Kernel.t ->
+  (report, string) result
+(** {!run} with the cost model's latency oracles fed from [measured] — a
+    profiled engine window's per-node snapshot
+    ({!Cost_model.op_oracle_of_measured} /
+    {!Cost_model.mem_oracle_of_measured}) — and an optional starting
+    [baseline] placement (default: the memoized Algorithm-1 placement).
+    The backend of mesad's profiling-window feedback loop: the model ranks
+    candidates with the latencies this kernel actually exhibited, and the
+    engine still confirms every adoption, so never-regress holds
+    unchanged. *)
+
 val config_for : report -> Placement.t -> Accel_config.t
 (** The kernel's optimization flags around an arbitrary placement — what
     [run] itself executes, exposed so differential tests can re-run the

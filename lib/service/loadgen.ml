@@ -82,6 +82,10 @@ type result = {
   closed_unanswered : int;
   protocol_errors : int;
   outcomes : (string * int) list;
+  outcome_latency : (string * (int * float * float)) list;
+      (* outcome -> (count, p50 ms, p99 ms) over the answered probes,
+         computed through the telemetry Sketch so the CLI report and the
+         daemon's watch frames agree on quantile semantics *)
   ok_fabric : int;
   ok_cpu : int;
   rerouted : int;
@@ -200,7 +204,8 @@ let lane cfg lane_id =
               outcome = Proto.error_kind_to_string e.Proto.kind;
               latency_ms = lat;
             }
-        | Proto.Stats_dump _ | Proto.Pong ->
+        | Proto.Stats_dump _ | Proto.Pong | Proto.Frame _ | Proto.Span _
+        | Proto.End_stream ->
           incr proto_errors;
           None
     in
@@ -270,6 +275,9 @@ let run cfg =
   if cfg.concurrency < 1 then
     invalid_arg "Loadgen.run: concurrency must be >= 1";
   if cfg.kernels = [] then invalid_arg "Loadgen.run: empty kernel mix";
+  (* A daemon draining mid-send must surface as EPIPE on the lane's write
+     (caught and counted as unanswered), not as a process-killing SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let t0 = Unix.gettimeofday () in
   let slots = Array.make cfg.concurrency ([], 0, 0, 0) in
   let threads =
@@ -299,12 +307,32 @@ let run cfg =
   in
   let lat = List.map (fun p -> p.latency_ms) answered in
   let pct p = if lat = [] then 0.0 else Stats.percentile p lat in
+  (* Per-outcome latency quantiles via a single-window sketch — the same
+     aggregation the daemon's watch frames use. Latency never feeds the
+     digest, so these stay out of the determinism contract. *)
+  let outcome_latency =
+    List.filter_map
+      (fun (tag, _) ->
+        let sk = Sketch.create ~windows:1 () in
+        List.iter
+          (fun p -> if p.outcome = tag then Sketch.observe sk p.latency_ms)
+          answered;
+        if Sketch.window_count sk = 0 then None
+        else
+          Some
+            ( tag,
+              ( Sketch.window_count sk,
+                Sketch.quantile sk 0.5,
+                Sketch.quantile sk 0.99 ) ))
+      outcomes
+  in
   {
     sent;
     completed = List.length answered;
     closed_unanswered;
     protocol_errors;
     outcomes;
+    outcome_latency;
     ok_fabric = count (fun p -> p.outcome = "ok" && p.site = "fabric");
     ok_cpu = count (fun p -> p.outcome = "ok" && p.site = "cpu");
     rerouted = count (fun p -> p.rerouted);
@@ -326,12 +354,27 @@ let run cfg =
 let result_to_json r =
   Json.Assoc
     [
+      (* v2: adds this schema tag and per-outcome latency quantiles; every
+         v1 field is unchanged, as is the digest. *)
+      ("schema", Json.String "mesa-loadgen-v2");
       ("sent", Json.Int r.sent);
       ("completed", Json.Int r.completed);
       ("closed_unanswered", Json.Int r.closed_unanswered);
       ("protocol_errors", Json.Int r.protocol_errors);
       ( "outcomes",
         Json.Assoc (List.map (fun (k, v) -> (k, Json.Int v)) r.outcomes) );
+      ( "outcome_latency_ms",
+        Json.Assoc
+          (List.map
+             (fun (k, (n, p50, p99)) ->
+               ( k,
+                 Json.Assoc
+                   [
+                     ("count", Json.Int n);
+                     ("p50", Json.Float p50);
+                     ("p99", Json.Float p99);
+                   ] ))
+             r.outcome_latency) );
       ("ok_fabric", Json.Int r.ok_fabric);
       ("ok_cpu", Json.Int r.ok_cpu);
       ("rerouted", Json.Int r.rerouted);

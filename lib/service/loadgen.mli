@@ -65,6 +65,11 @@ type result = {
   protocol_errors : int;      (** garbage or mismatched responses; 0 *)
   outcomes : (string * int) list;
       (** "ok" plus every taxonomy kind, all present (zeros included) *)
+  outcome_latency : (string * (int * float * float)) list;
+      (** per answered outcome: (count, p50 ms, p99 ms), computed through
+          a {!Sketch} so quantile semantics match the daemon's watch
+          frames; outcomes with no answered probes are absent. Latency
+          stays out of {!result.digest}. *)
   ok_fabric : int;
   ok_cpu : int;
   rerouted : int;
@@ -87,6 +92,8 @@ val run : config -> result
     [Unix.Unix_error] if the initial connections cannot be opened. *)
 
 val result_to_json : result -> Json.t
+(** Schema [mesa-loadgen-v2]: v1 plus the [schema] tag and
+    [outcome_latency_ms]; every v1 field and the digest are unchanged. *)
 
 val find_service_counter : result -> string -> int option
 (** Look up a counter in the fetched daemon stats by dotted path, e.g.

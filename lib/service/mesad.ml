@@ -26,22 +26,125 @@ let salvage_id j =
   | Some v -> Option.value (Json.to_int v) ~default:0
   | None -> 0
 
+(* What one request line asks the handler to do: answer once, or turn the
+   connection into a telemetry stream. *)
+type action =
+  | Respond of Proto.response
+  | Stream_watch of Proto.watch_request
+  | Stream_trace of Proto.trace_request
+
 let handle_line t line =
   match Json.of_string line with
   | Error e ->
-    { Proto.rsp_id = 0;
-      body = Service.bad_request t.svc ("unparseable request: " ^ e) }
+    Respond
+      { Proto.rsp_id = 0;
+        body = Service.bad_request t.svc ("unparseable request: " ^ e) }
   | Ok j -> (
     match Proto.request_of_json j with
     | Error e ->
-      { Proto.rsp_id = salvage_id j;
-        body = Service.bad_request t.svc ("bad request: " ^ e) }
-    | Ok (Proto.Ping id) -> { Proto.rsp_id = id; body = Proto.Pong }
+      Respond
+        { Proto.rsp_id = salvage_id j;
+          body = Service.bad_request t.svc ("bad request: " ^ e) }
+    | Ok (Proto.Ping id) -> Respond { Proto.rsp_id = id; body = Proto.Pong }
     | Ok (Proto.Get_stats id) ->
-      { Proto.rsp_id = id;
-        body = Proto.Stats_dump (Stats.to_json (Service.stats t.svc)) }
+      Respond
+        { Proto.rsp_id = id;
+          body = Proto.Stats_dump (Stats.to_json (Service.stats t.svc)) }
     | Ok (Proto.Run r) ->
-      { Proto.rsp_id = r.Proto.id; body = Service.execute t.svc r })
+      Respond { Proto.rsp_id = r.Proto.id; body = Service.execute t.svc r }
+    | Ok (Proto.Watch w) -> Stream_watch w
+    | Ok (Proto.Trace tr) -> Stream_trace tr)
+
+let stopping t = locked t (fun () -> t.stopping)
+
+let write_response oc rsp =
+  output_string oc (Proto.response_to_line rsp);
+  output_char oc '\n';
+  flush oc
+
+(* Both stream loops return [`Done] when the subscription's own limit
+   ended it (the client may send another request on this connection) and
+   [`Close] when the daemon is stopping or the client went away. Writes
+   can always raise [Sys_error]/[Unix_error] mid-stream; callers treat
+   that as [`Close]. *)
+
+let watch_stream t oc (w : Proto.watch_request) =
+  let hub = Service.telemetry t.svc in
+  let watcher = Telemetry.watcher hub in
+  let interval_s = w.Proto.interval_ms /. 1000.0 in
+  let write_frame () =
+    let frame = Telemetry.next_frame hub watcher (Service.stats t.svc) in
+    write_response oc
+      { Proto.rsp_id = w.Proto.w_id;
+        body = Proto.Frame (Telemetry.frame_to_json frame) }
+  in
+  (* Sleep in short slices so a drain never waits on a sleeping stream. *)
+  let rec pause until =
+    let now = Unix.gettimeofday () in
+    if now < until && not (stopping t) then begin
+      Unix.sleepf (Float.min 0.05 (until -. now));
+      pause until
+    end
+  in
+  let finite = w.Proto.frames <> None in
+  let limit = Option.value w.Proto.frames ~default:max_int in
+  let rec loop sent next_due =
+    if sent >= limit then `Done
+    else if stopping t then `Close
+    else begin
+      pause next_due;
+      if stopping t then `Close
+      else begin
+        (* A consumer slower than the cadence sheds the missed ticks —
+           the schedule jumps forward and the frame says how many. *)
+        let now = Unix.gettimeofday () in
+        let missed =
+          if now > next_due +. interval_s then
+            int_of_float ((now -. next_due) /. interval_s)
+          else 0
+        in
+        if missed > 0 then Telemetry.note_missed watcher missed;
+        write_frame ();
+        loop (sent + 1) (next_due +. (float_of_int (missed + 1) *. interval_s))
+      end
+    end
+  in
+  write_frame ();
+  let outcome = loop 1 (Unix.gettimeofday () +. interval_s) in
+  if outcome = `Done && finite then
+    write_response oc { Proto.rsp_id = w.Proto.w_id; body = Proto.End_stream };
+  outcome
+
+let trace_stream t oc (tr : Proto.trace_request) =
+  let hub = Service.telemetry t.svc in
+  let cursor = Telemetry.subscribe hub in
+  let finite = tr.Proto.spans <> None in
+  let limit = Option.value tr.Proto.spans ~default:max_int in
+  let rec loop sent =
+    if sent >= limit then `Done
+    else if stopping t then `Close
+    else begin
+      let spans = Telemetry.poll hub cursor ~max:(min 64 (limit - sent)) in
+      if spans = [] then begin
+        Unix.sleepf 0.05;
+        loop sent
+      end
+      else begin
+        List.iter
+          (fun sp ->
+            write_response oc
+              { Proto.rsp_id = tr.Proto.t_id;
+                body = Proto.Span (Telemetry.span_to_json sp) })
+          spans;
+        loop (sent + List.length spans)
+      end
+    end
+  in
+  let outcome = loop 0 in
+  if outcome = `Done && finite then
+    write_response oc
+      { Proto.rsp_id = tr.Proto.t_id; body = Proto.End_stream };
+  outcome
 
 let handler t fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -53,20 +156,39 @@ let handler t fd =
       if String.trim line = "" then serve ()
       else begin
         locked t (fun () -> t.active <- t.active + 1);
+        let finished = ref false in
         let finish () =
-          locked t (fun () ->
-              t.active <- t.active - 1;
-              Condition.broadcast t.idle)
+          if not !finished then begin
+            finished := true;
+            locked t (fun () ->
+                t.active <- t.active - 1;
+                Condition.broadcast t.idle)
+          end
         in
+        (* The active count brackets the dispatch (and, for [Respond], the
+           flushed write) — the drain guarantee. Stream loops run outside
+           it: they are long-lived and poll [stopping] on every tick, so a
+           drain never waits on one; it sees the flag and winds down
+           within a tick. *)
         (match
-           let rsp = handle_line t line in
-           output_string oc (Proto.response_to_line rsp);
-           output_char oc '\n';
-           flush oc
+           match handle_line t line with
+           | Respond rsp ->
+             write_response oc rsp;
+             finish ();
+             `Done
+           | Stream_watch w ->
+             finish ();
+             watch_stream t oc w
+           | Stream_trace tr ->
+             finish ();
+             trace_stream t oc tr
          with
-        | () -> finish (); serve ()
+        | `Done -> serve ()
+        | `Close -> ()
         | exception (Sys_error _ | Unix.Unix_error _) ->
-          (* Client went away mid-write; nothing left to serve. *)
+          (* Client went away mid-write; nothing left to serve. [finish]
+             is idempotent, so this is safe whether the write died inside
+             or after the active bracket. *)
           finish ())
       end
   in
@@ -96,6 +218,10 @@ let accept_loop t =
   (try Unix.unlink t.path with Unix.Unix_error _ | Sys_error _ -> ())
 
 let start ?service_config ~socket () =
+  (* A client vanishing mid-write — routine for long-lived watch/trace
+     streams — must surface as EPIPE on the write (the handlers catch it
+     and close the connection), not as a process-killing SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (match Unix.stat socket with
   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
   | _ -> failwith (socket ^ ": exists and is not a socket")
@@ -139,7 +265,7 @@ let stop ?(grace_s = 5.0) t =
     Service.begin_drain t.svc;
     (* 2. Finish the in-flight requests — this is the drain guarantee; the
        responses are written and flushed by their handler threads. *)
-    let snap = Service.drain t.svc in
+    ignore (Service.drain t.svc);
     (* 3. Give handlers still answering post-drain traffic (shed responses
        to clients that keep sending) a bounded window to go idle. *)
     let deadline = Unix.gettimeofday () +. grace_s in
@@ -160,6 +286,10 @@ let stop ?(grace_s = 5.0) t =
       conns;
     let handlers = locked t (fun () -> t.handlers) in
     List.iter Thread.join handlers;
+    (* Shutdown joins the background refiner, so the snapshot taken after
+       it includes every refine verdict — the count the CI gate closes
+       watch frames against. *)
     Service.shutdown t.svc;
+    let snap = Service.stats t.svc in
     locked t (fun () -> t.final <- Some snap);
     snap

@@ -37,7 +37,21 @@ let run_request ?deadline_ms ?inject ?(fault_seed = 0x5EED)
     ?(allow_fallback = true) ~id kernel =
   { id; kernel; deadline_ms; inject; fault_seed; allow_fallback }
 
-type request = Run of run_request | Get_stats of int | Ping of int
+type watch_request = { w_id : int; interval_ms : float; frames : int option }
+
+let watch_request ?(interval_ms = 250.0) ?frames ~id () =
+  { w_id = id; interval_ms; frames }
+
+type trace_request = { t_id : int; spans : int option }
+
+let trace_request ?spans ~id () = { t_id = id; spans }
+
+type request =
+  | Run of run_request
+  | Get_stats of int
+  | Ping of int
+  | Watch of watch_request
+  | Trace of trace_request
 
 type site = Fabric | Cpu
 
@@ -62,7 +76,14 @@ type ok_body = {
   latency_ms : float;
 }
 
-type body = Ok_run of ok_body | Err of error | Stats_dump of Json.t | Pong
+type body =
+  | Ok_run of ok_body
+  | Err of error
+  | Stats_dump of Json.t
+  | Pong
+  | Frame of Json.t
+  | Span of Json.t
+  | End_stream
 
 type response = { rsp_id : int; body : body }
 
@@ -72,6 +93,18 @@ let request_to_json = function
   | Ping id -> Json.Assoc [ ("op", Json.String "ping"); ("id", Json.Int id) ]
   | Get_stats id ->
     Json.Assoc [ ("op", Json.String "stats"); ("id", Json.Int id) ]
+  | Watch w ->
+    Json.Assoc
+      ([
+         ("op", Json.String "watch");
+         ("id", Json.Int w.w_id);
+         ("interval_ms", Json.Float w.interval_ms);
+       ]
+      @ match w.frames with None -> [] | Some n -> [ ("frames", Json.Int n) ])
+  | Trace tr ->
+    Json.Assoc
+      ([ ("op", Json.String "trace"); ("id", Json.Int tr.t_id) ]
+      @ match tr.spans with None -> [] | Some n -> [ ("spans", Json.Int n) ])
   | Run r ->
     Json.Assoc
       ([
@@ -121,6 +154,9 @@ let response_to_json { rsp_id; body } =
       ]
     | Stats_dump j -> [ ("stats", j) ]
     | Pong -> [ ("pong", Json.Bool true) ]
+    | Frame j -> [ ("frame", j) ]
+    | Span j -> [ ("span", j) ]
+    | End_stream -> [ ("done", Json.Bool true) ]
   in
   Json.Assoc (("id", Json.Int rsp_id) :: fields)
 
@@ -204,6 +240,36 @@ let request_of_json j =
     | "run" -> Result.map (fun r -> Run r) (run_request_of_json j)
     | "stats" -> Result.map (fun id -> Get_stats id) (field_int "id" j)
     | "ping" -> Result.map (fun id -> Ping id) (field_int "id" j)
+    | "watch" ->
+      let* id = field_int "id" j in
+      let* interval_ms = opt_field_float "interval_ms" j in
+      let interval_ms = Option.value interval_ms ~default:250.0 in
+      let* () =
+        if interval_ms > 0.0 then Ok ()
+        else Error "field \"interval_ms\" must be positive"
+      in
+      let* frames =
+        match Json.member "frames" j with
+        | None -> Ok None
+        | Some v -> (
+          match Json.to_int v with
+          | Some n when n > 0 -> Ok (Some n)
+          | Some _ -> Error "field \"frames\" must be positive"
+          | None -> Error "field \"frames\" is not an integer")
+      in
+      Ok (Watch { w_id = id; interval_ms; frames })
+    | "trace" ->
+      let* id = field_int "id" j in
+      let* spans =
+        match Json.member "spans" j with
+        | None -> Ok None
+        | Some v -> (
+          match Json.to_int v with
+          | Some n when n > 0 -> Ok (Some n)
+          | Some _ -> Error "field \"spans\" must be positive"
+          | None -> Error "field \"spans\" is not an integer")
+      in
+      Ok (Trace { t_id = id; spans })
     | other -> Error (Printf.sprintf "unknown op %S" other))
   | _ -> Error "request is not a JSON object"
 
@@ -259,8 +325,15 @@ let response_of_json j =
         Ok (Err { kind; message })
       | None, None, Some s, _ -> Ok (Stats_dump s)
       | None, None, None, Some _ -> Ok Pong
-      | None, None, None, None ->
-        Error "response has none of ok/error/stats/pong"
+      | None, None, None, None -> (
+        match
+          (Json.member "frame" j, Json.member "span" j, Json.member "done" j)
+        with
+        | Some f, _, _ -> Ok (Frame f)
+        | None, Some s, _ -> Ok (Span s)
+        | None, None, Some _ -> Ok End_stream
+        | None, None, None ->
+          Error "response has none of ok/error/stats/pong/frame/span/done")
     in
     Ok { rsp_id; body }
   | _ -> Error "response is not a JSON object"

@@ -12,7 +12,13 @@
     of the five {!error_kind}s, so failure modes are distinguishable and
     countable, and an unknown kind on the wire is a decode error, never a
     silent sixth category. The test suite pins the taxonomy strings as a
-    golden list so the protocol cannot drift. *)
+    golden list so the protocol cannot drift.
+
+    Revision 2 adds the streaming verbs [watch] and [trace]: unlike the
+    request/response ops, these turn the connection into a one-way stream
+    of [frame]/[span] responses (all carrying the subscription's [id])
+    terminated by a [done] response when the stream is finite. The error
+    taxonomy is unchanged. *)
 
 (** The closed error taxonomy. Keep in sync with the golden pin in
     [test/test_service.ml]; extending it is a protocol revision. *)
@@ -51,10 +57,40 @@ val run_request : ?deadline_ms:float -> ?inject:string -> ?fault_seed:int ->
   ?allow_fallback:bool -> id:int -> string -> run_request
 (** Defaults: no deadline, no injection, seed 0x5EED, fallback allowed. *)
 
+(** A live-telemetry metrics subscription: the daemon answers with a
+    stream of [frame] responses ({!body.Frame}, schema
+    [mesa-telemetry-v1]) on the same connection, one per [interval_ms]
+    tick, until [frames] have been sent ([None] = until the connection
+    closes or the daemon drains), then a final {!body.End_stream}. Missed
+    ticks (slow consumer) are shed, never queued — the frame's own
+    [dropped] counter says how many. *)
+type watch_request = {
+  w_id : int;
+  interval_ms : float;   (** frame cadence; default 250 *)
+  frames : int option;   (** stop after this many frames; [None] = endless *)
+}
+
+val watch_request : ?interval_ms:float -> ?frames:int -> id:int -> unit ->
+  watch_request
+
+(** A lifecycle-span subscription: the daemon streams [span] responses
+    ({!body.Span}) for every request lifecycle event from subscription
+    time on, until [spans] have been sent ([None] = endless), then
+    {!body.End_stream}. A consumer slower than the daemon's bounded span
+    ring skips forward — spans are dropped in bulk, never reordered. *)
+type trace_request = {
+  t_id : int;
+  spans : int option;    (** stop after this many spans; [None] = endless *)
+}
+
+val trace_request : ?spans:int -> id:int -> unit -> trace_request
+
 type request =
   | Run of run_request
   | Get_stats of int   (** dump the service counter tree; payload is [id] *)
   | Ping of int
+  | Watch of watch_request
+  | Trace of trace_request
 
 (** Where a successful request actually executed. *)
 type site =
@@ -85,6 +121,9 @@ type body =
   | Err of error
   | Stats_dump of Json.t
   | Pong
+  | Frame of Json.t      (** one telemetry metrics frame (a watch stream) *)
+  | Span of Json.t       (** one lifecycle span (a trace stream) *)
+  | End_stream           (** a finite watch/trace stream completed *)
 
 type response = { rsp_id : int; body : body }
 

@@ -11,6 +11,7 @@ type config = {
   default_deadline_ms : float option;
   watchdog_window : int;
   warm : bool;
+  profile_window : int option;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     default_deadline_ms = None;
     watchdog_window = 512;
     warm = true;
+    profile_window = None;
   }
 
 type shard = { sh_id : int; sh_grid : Grid.t; sh_breaker : Breaker.t }
@@ -53,6 +55,21 @@ type counters = {
   br_recloses : Stats.counter;
   br_probes : Stats.counter;
   br_faults : Stats.counter;
+  tel_profile_windows : Stats.counter;
+  tel_oracle_refreshes : Stats.counter;
+  tel_refine_attempts : Stats.counter;
+  tel_refine_accepts : Stats.counter;
+  tel_refine_rejects : Stats.counter;
+  tel_memo_swaps : Stats.counter;
+}
+
+(* One unit of background-refinement work: the measured per-node snapshot a
+   profiling window captured, plus the controller-path cycles of that same
+   run — the never-regress bar any accepted placement must clear. *)
+type refine_job = {
+  rj_kernel : string;
+  rj_measured : Stats.snapshot;
+  rj_cycles : int;
 }
 
 type t = {
@@ -69,6 +86,18 @@ type t = {
   mutable ticket : int;    (* admission ordinal; seeds per-request jitter *)
   reg : Stats.registry;
   c : counters;
+  telemetry : Telemetry.t;
+  (* Accepted background refinements, by kernel name: the tune hook
+     applies these to every freshly translated configuration. Guarded by
+     [lock]. *)
+  overrides : (string, Placement.t) Hashtbl.t;
+  mutable run_tick : int;  (* inject-free runs seen; drives profiled Nths *)
+  refine_jobs : refine_job Queue.t;
+  refine_pending : (string, unit) Hashtbl.t;  (* kernels queued or running *)
+  refine_cv : Condition.t;
+  mutable refine_stop : bool;
+  mutable refiner : Thread.t option;
+  mutable on_window : Stats.snapshot -> unit;
 }
 
 let config t = t.cfg
@@ -86,6 +115,7 @@ let make_counters reg =
   let outcomes = Stats.subgroup g "outcomes" in
   let execg = Stats.subgroup g "exec" in
   let brg = Stats.subgroup g "breaker" in
+  let telg = Stats.group reg "telemetry" in
   {
     admitted = Stats.counter g "admitted";
     shed = Stats.counter g "shed" ~desc:"rejected before queueing";
@@ -108,12 +138,30 @@ let make_counters reg =
     br_recloses = Stats.counter brg "recloses" ~desc:"half-open probes that reclosed a shard";
     br_probes = Stats.counter brg "half_open_probes";
     br_faults = Stats.counter brg "faults_recorded";
+    tel_profile_windows =
+      Stats.counter telg "profile_windows"
+        ~desc:"profiled runs that captured a measured window";
+    tel_oracle_refreshes =
+      Stats.counter telg "oracle_refreshes"
+        ~desc:"measured snapshots handed to the background refiner";
+    tel_refine_attempts = Stats.counter telg "refine_attempts";
+    tel_refine_accepts =
+      Stats.counter telg "refine_accepts"
+        ~desc:"engine- and controller-confirmed placements installed";
+    tel_refine_rejects = Stats.counter telg "refine_rejects";
+    tel_memo_swaps =
+      Stats.counter telg "memo_swaps"
+        ~desc:"warm-memo placements atomically replaced";
   }
-  |> fun c -> (g, c)
+  |> fun c -> (g, telg, c)
 
 (* Probes read live service state, so they can only be registered once the
    record exists; the counters above have no such dependency. *)
-let register_probes t g =
+let register_probes t g telg =
+  Stats.int_probe telg "spans_emitted" (fun () ->
+      Telemetry.spans_emitted t.telemetry);
+  Stats.int_probe telg "overrides_installed" (fun () ->
+      Hashtbl.length t.overrides);
   let queue = Stats.subgroup g "queue" in
   Stats.int_probe queue "depth" (fun () -> t.inflight);
   Stats.int_probe queue "peak_depth" (fun () -> t.peak);
@@ -147,6 +195,143 @@ let warm_translation_memo shard_grid =
       with Failure _ -> ())
     (Workloads.all ())
 
+(* ------------------------------------------------------------------ *)
+(* Profiling-window feedback: a profiled run's measured per-node snapshot
+   feeds the cost model's latency oracles, a background refine pass
+   searches for a faster placement, and an accepted one is swapped into
+   the warm translation memo and forced into every subsequent translation
+   via the controller's tune hook. *)
+
+(* A refined placement may only substitute for a translated configuration
+   it is structurally compatible with: the controller maps its own
+   (post-CSE) dfg while the refiner maps the raw hot-loop LDFG, so node
+   counts can differ. Grid equality plus assignment arity is the guard —
+   and installs are additionally gated on a full controller-path
+   confirmation run below. *)
+let compatible (cfg : Accel_config.t) (p : Placement.t) =
+  cfg.Accel_config.placement.Placement.grid = p.Placement.grid
+  && Array.length cfg.Accel_config.placement.Placement.assign
+     = Array.length p.Placement.assign
+
+let tune_hook t kernel cfg =
+  match locked t (fun () -> Hashtbl.find_opt t.overrides kernel) with
+  | Some p when compatible cfg p -> { cfg with Accel_config.placement = p }
+  | _ -> cfg
+
+(* Controller-path cycles for [k] with [placement] forced into every
+   compatible translation — acceptance runs the same pipeline a live
+   request does, so a placement that wins at the engine level but loses
+   end to end (or corrupts outputs) is rejected. *)
+let controller_confirm t (k : Kernel.t) ~grid placement =
+  let options = Controller.default_options ~grid () in
+  let options =
+    {
+      options with
+      Controller.watchdog_window = t.cfg.watchdog_window;
+      tune =
+        (fun cfg ->
+          if compatible cfg placement then
+            { cfg with Accel_config.placement }
+          else cfg);
+    }
+  in
+  let mem = Main_memory.create () in
+  let machine = Kernel.prepare k mem in
+  let report = Controller.run ~options k.Kernel.program machine in
+  let cycles = report.Controller.total_cycles in
+  let verdict = k.Kernel.check mem in
+  Hierarchy.release report.Controller.hier;
+  Main_memory.release mem;
+  match verdict with Ok () -> Some cycles | Error _ -> None
+
+let refine_one t (j : refine_job) =
+  let reject detail =
+    locked t (fun () -> Stats.incr t.c.tel_refine_rejects);
+    Telemetry.emit t.telemetry ~kernel:j.rj_kernel ~detail Telemetry.Refine
+  in
+  locked t (fun () -> Stats.incr t.c.tel_refine_attempts);
+  match Workloads.find j.rj_kernel with
+  | exception Not_found -> reject "unknown kernel"
+  | k -> (
+    let grid = t.shards.(0).sh_grid in
+    let baseline =
+      locked t (fun () -> Hashtbl.find_opt t.overrides j.rj_kernel)
+    in
+    match
+      Refine.run_measured ~seed:t.cfg.seed ~grid ?baseline
+        ~measured:j.rj_measured k
+    with
+    | Error e -> reject ("refine failed: " ^ e)
+    | Ok r ->
+      if r.Refine.refined_cycles >= r.Refine.baseline_cycles then
+        reject "no engine-confirmed gain"
+      else (
+        match controller_confirm t k ~grid r.Refine.placement with
+        | None -> reject "controller confirmation failed"
+        | Some cycles when cycles > j.rj_cycles ->
+          reject
+            (Printf.sprintf "controller regression (%d > %d cycles)" cycles
+               j.rj_cycles)
+        | Some cycles ->
+          locked t (fun () ->
+              Hashtbl.replace t.overrides j.rj_kernel r.Refine.placement;
+              Stats.incr t.c.tel_refine_accepts;
+              Stats.incr t.c.tel_memo_swaps);
+          Runner.swap_placement ~grid k r.Refine.placement;
+          Telemetry.note_refine_accept t.telemetry ~kernel:j.rj_kernel;
+          Telemetry.emit t.telemetry ~kernel:j.rj_kernel
+            ~detail:
+              (Printf.sprintf "accept: %d -> %d controller cycles" j.rj_cycles
+                 cycles)
+            Telemetry.Refine))
+
+let refiner_loop t =
+  let rec next () =
+    let job =
+      locked t (fun () ->
+          while Queue.is_empty t.refine_jobs && not t.refine_stop do
+            Condition.wait t.refine_cv t.lock
+          done;
+          if Queue.is_empty t.refine_jobs then None
+          else Some (Queue.pop t.refine_jobs))
+    in
+    match job with
+    | None -> ()
+    | Some j ->
+      Fun.protect
+        ~finally:(fun () ->
+          locked t (fun () -> Hashtbl.remove t.refine_pending j.rj_kernel))
+        (fun () ->
+          try refine_one t j
+          with e ->
+            locked t (fun () -> Stats.incr t.c.tel_refine_rejects);
+            Telemetry.emit t.telemetry ~kernel:j.rj_kernel
+              ~detail:("refiner exception: " ^ Printexc.to_string e)
+              Telemetry.Refine);
+      next ()
+  in
+  next ()
+
+(* At most one queued job per kernel, and a short queue overall: windows
+   arrive far faster than refines complete, and a newer window for the
+   same kernel supersedes an unserved older one anyway. *)
+let enqueue_refine t ~kernel ~measured ~cycles =
+  locked t (fun () ->
+      if
+        (not t.refine_stop) && t.refiner <> None
+        && (not (Hashtbl.mem t.refine_pending kernel))
+        && Queue.length t.refine_jobs < 4
+      then begin
+        Hashtbl.add t.refine_pending kernel ();
+        Queue.push
+          { rj_kernel = kernel; rj_measured = measured; rj_cycles = cycles }
+          t.refine_jobs;
+        Stats.incr t.c.tel_oracle_refreshes;
+        Condition.signal t.refine_cv;
+        true
+      end
+      else false)
+
 let create ?(config = default_config) () =
   if config.shards < 1 then invalid_arg "Service.create: shards must be >= 1";
   if config.shard_pes < 4 then
@@ -163,8 +348,12 @@ let create ?(config = default_config) () =
     Array.init config.shards (fun i ->
         { sh_id = i; sh_grid = grid; sh_breaker = Breaker.create config.breaker })
   in
+  (match config.profile_window with
+  | Some n when n < 1 ->
+    invalid_arg "Service.create: profile_window must be >= 1"
+  | _ -> ());
   let reg = Stats.registry () in
-  let g, c = make_counters reg in
+  let g, telg, c = make_counters reg in
   let t =
     {
       cfg = config;
@@ -180,10 +369,21 @@ let create ?(config = default_config) () =
       ticket = 0;
       reg;
       c;
+      telemetry = Telemetry.create ();
+      overrides = Hashtbl.create 8;
+      run_tick = 0;
+      refine_jobs = Queue.create ();
+      refine_pending = Hashtbl.create 8;
+      refine_cv = Condition.create ();
+      refine_stop = false;
+      refiner = None;
+      on_window = (fun _ -> ());
     }
   in
-  register_probes t g;
+  register_probes t g telg;
   if config.warm then warm_translation_memo grid;
+  if config.profile_window <> None then
+    t.refiner <- Some (Thread.create refiner_loop t);
   t
 
 (* ------------------------------------------------------------------ *)
@@ -193,14 +393,21 @@ let sum_regions f (report : Controller.report) =
   List.fold_left (fun acc r -> acc + f r) 0 report.Controller.regions
 
 (* Full controller pipeline on one shard. Returns the response body (with
-   latency left at 0), the quarantine count that drives the breaker, and
-   the output validation verdict. *)
-let fabric_exec t (k : Kernel.t) shard inject ~rerouted ~retries =
+   latency left at 0), the quarantine count that drives the breaker, the
+   output validation verdict, and — when [profiled] — the last clean
+   window's measured per-node snapshot for the refiner's oracles.
+   Profiling is pure observation, so a profiled run's cycles, memory and
+   registers are bit-identical to an unprofiled one. *)
+let fabric_exec t (k : Kernel.t) shard inject ~rerouted ~retries ~profiled =
   let options =
-    Controller.default_options ~grid:shard.sh_grid ?inject ()
+    Controller.default_options ~grid:shard.sh_grid ?inject ~profile:profiled ()
   in
   let options =
-    { options with Controller.watchdog_window = t.cfg.watchdog_window }
+    {
+      options with
+      Controller.watchdog_window = t.cfg.watchdog_window;
+      tune = tune_hook t k.Kernel.name;
+    }
   in
   let mem = Main_memory.create () in
   let machine = Kernel.prepare k mem in
@@ -223,9 +430,14 @@ let fabric_exec t (k : Kernel.t) shard inject ~rerouted ~retries =
     }
   in
   let verdict = k.Kernel.check mem in
+  let measured =
+    if profiled then
+      List.find_map (fun r -> r.Controller.measured) report.Controller.regions
+    else None
+  in
   Hierarchy.release report.Controller.hier;
   Main_memory.release mem;
-  (body, quarantines, verdict)
+  (body, quarantines, verdict, measured)
 
 let cpu_exec (k : Kernel.t) ~rerouted ~retries =
   let mem = Main_memory.create () in
@@ -273,18 +485,37 @@ let route t =
       scan 0 0)
 
 let record_breaker t shard ~probe ~ok =
-  locked t (fun () ->
-      if not ok then Stats.incr t.c.br_faults;
-      match Breaker.record shard.sh_breaker ~probe ~ok with
-      | Breaker.No_change -> ()
-      | Breaker.Tripped -> Stats.incr t.c.br_trips
-      | Breaker.Reclosed -> Stats.incr t.c.br_recloses
-      | Breaker.Reopened -> Stats.incr t.c.br_reopens)
+  let transition =
+    locked t (fun () ->
+        if not ok then Stats.incr t.c.br_faults;
+        let tr = Breaker.record shard.sh_breaker ~probe ~ok in
+        (match tr with
+        | Breaker.No_change -> ()
+        | Breaker.Tripped -> Stats.incr t.c.br_trips
+        | Breaker.Reclosed -> Stats.incr t.c.br_recloses
+        | Breaker.Reopened -> Stats.incr t.c.br_reopens);
+        tr)
+  in
+  match transition with
+  | Breaker.No_change -> ()
+  | tr ->
+    let detail =
+      match tr with
+      | Breaker.Tripped -> "trip"
+      | Breaker.Reclosed -> "reclose"
+      | Breaker.Reopened -> "reopen"
+      | Breaker.No_change -> ""
+    in
+    Telemetry.emit t.telemetry ~shard:shard.sh_id ~detail Telemetry.Breaker
 
 (* The worker-side attempt ladder. [inject] is armed on the first attempt
    only: the schedule models an environmental strike during this request,
-   so a retry runs clean on (preferably) a different shard. *)
-let attempts t (k : Kernel.t) inject ~allow_fallback ~cancelled ~backoff =
+   so a retry runs clean on (preferably) a different shard. A [profiled]
+   attempt that completes a clean fabric window hands its measured
+   snapshot to the background refiner and fires the [on_window] hook. *)
+let attempts t (k : Kernel.t) inject ~req ~profiled ~allow_fallback ~cancelled
+    ~backoff =
+  let kernel = k.Kernel.name in
   let rec go attempt inject any_reroute =
     if Atomic.get cancelled then begin
       locked t (fun () -> Stats.incr t.c.exec_abandoned);
@@ -297,6 +528,8 @@ let attempts t (k : Kernel.t) inject ~allow_fallback ~cancelled ~backoff =
           match cpu_exec k ~rerouted:any_reroute ~retries:attempt with
           | body, Ok () ->
             locked t (fun () -> Stats.incr t.c.exec_cpu_fallback);
+            Telemetry.emit t.telemetry ~req ~kernel ~detail:"cpu-fallback"
+              Telemetry.Execute;
             Proto.Ok_run body
           | _, Error msg ->
             err Proto.Internal ("cpu fallback output validation failed: " ^ msg)
@@ -310,8 +543,13 @@ let attempts t (k : Kernel.t) inject ~allow_fallback ~cancelled ~backoff =
       | Some (shard, grant, skipped) ->
         let probe = grant = `Probe in
         let rerouted = any_reroute || skipped in
-        (match fabric_exec t k shard inject ~rerouted ~retries:attempt with
-        | body, quarantines, checked -> (
+        Telemetry.emit t.telemetry ~req ~kernel ~shard:shard.sh_id
+          ~detail:(if probe then "probe" else "")
+          Telemetry.Translate;
+        (match
+           fabric_exec t k shard inject ~rerouted ~retries:attempt ~profiled
+         with
+        | body, quarantines, checked, measured -> (
           match checked with
           | Error msg ->
             record_breaker t shard ~probe ~ok:false;
@@ -323,6 +561,24 @@ let attempts t (k : Kernel.t) inject ~allow_fallback ~cancelled ~backoff =
                   Stats.incr t.c.exec_fabric;
                   if rerouted then Stats.incr t.c.exec_rerouted;
                   if attempt > 0 then Stats.incr t.c.exec_retry_successes);
+              Telemetry.emit t.telemetry ~req ~kernel ~shard:shard.sh_id
+                ~detail:(Printf.sprintf "%d cycles" body.Proto.cycles)
+                Telemetry.Execute;
+              (match measured with
+              | Some snap ->
+                locked t (fun () -> Stats.incr t.c.tel_profile_windows);
+                Telemetry.note_profile_window t.telemetry ~kernel;
+                Telemetry.emit t.telemetry ~req ~kernel ~shard:shard.sh_id
+                  Telemetry.Profile_window;
+                if
+                  enqueue_refine t ~kernel ~measured:snap
+                    ~cycles:body.Proto.cycles
+                then
+                  Telemetry.emit t.telemetry ~req ~kernel
+                    Telemetry.Oracle_refresh;
+                let cb = locked t (fun () -> t.on_window) in
+                cb (locked t (fun () -> Stats.snapshot t.reg))
+              | None -> ());
               Proto.Ok_run body
             end
             else begin
@@ -337,6 +593,9 @@ let attempts t (k : Kernel.t) inject ~allow_fallback ~cancelled ~backoff =
                 locked t (fun () ->
                     Stats.incr t.c.exec_retries;
                     Stats.observe t.c.backoff_ms delay_ms);
+                Telemetry.emit t.telemetry ~req ~kernel ~shard:shard.sh_id
+                  ~detail:(Printf.sprintf "backoff %.2fms" delay_ms)
+                  Telemetry.Retry;
                 Unix.sleepf (delay_ms /. 1000.0);
                 go (attempt + 1) None true
               end
@@ -344,6 +603,8 @@ let attempts t (k : Kernel.t) inject ~allow_fallback ~cancelled ~backoff =
                 locked t (fun () ->
                     Stats.incr t.c.exec_fabric;
                     if rerouted then Stats.incr t.c.exec_rerouted);
+                Telemetry.emit t.telemetry ~req ~kernel ~shard:shard.sh_id
+                  ~detail:"degraded" Telemetry.Execute;
                 Proto.Ok_run body
               end
             end)
@@ -382,11 +643,22 @@ let tally t body =
         | Proto.Overloaded -> Stats.incr t.c.overloaded
         | Proto.Fabric_quarantined -> Stats.incr t.c.fabric_quarantined
         | Proto.Internal -> Stats.incr t.c.internal)
-      | Proto.Stats_dump _ | Proto.Pong -> ())
+      | Proto.Stats_dump _ | Proto.Pong | Proto.Frame _ | Proto.Span _
+      | Proto.End_stream ->
+        ())
+
+let outcome_of = function
+  | Proto.Ok_run _ -> "ok"
+  | Proto.Err e -> Proto.error_kind_to_string e.Proto.kind
+  | Proto.Stats_dump _ | Proto.Pong | Proto.Frame _ | Proto.Span _
+  | Proto.End_stream ->
+    ""
 
 let bad_request t msg =
   let body = err Proto.Bad_request msg in
   tally t body;
+  Telemetry.emit t.telemetry ~outcome:"bad_request" ~detail:msg
+    Telemetry.Resolve;
   body
 
 let execute t (req : Proto.run_request) =
@@ -419,6 +691,21 @@ let execute t (req : Proto.run_request) =
       match admitted with
       | Error body -> body
       | Ok ticket ->
+        Telemetry.emit t.telemetry ~req:req.Proto.id ~kernel:req.Proto.kernel
+          ~detail:(Printf.sprintf "ticket %d" ticket)
+          Telemetry.Admit;
+        (* Every [profile_window]-th clean-environment run carries the
+           attribution collector. Injected runs are skipped: a faulted
+           window's measurements would poison the oracles. *)
+        let profiled =
+          match t.cfg.profile_window with
+          | Some n when inject = None ->
+            locked t (fun () ->
+                let tick = t.run_tick in
+                t.run_tick <- tick + 1;
+                tick mod n = 0)
+          | _ -> false
+        in
         let cancelled = Atomic.make false in
         let backoff =
           (* Independent jitter stream per admitted request, reproducible
@@ -436,7 +723,9 @@ let execute t (req : Proto.run_request) =
                       t.inflight <- t.inflight - 1;
                       Condition.broadcast t.settled))
                 (fun () ->
-                  attempts t k inject
+                  Telemetry.emit t.telemetry ~req:req.Proto.id
+                    ~kernel:k.Kernel.name Telemetry.Queue;
+                  attempts t k inject ~req:req.Proto.id ~profiled
                     ~allow_fallback:req.Proto.allow_fallback ~cancelled
                     ~backoff))
         in
@@ -456,10 +745,18 @@ let execute t (req : Proto.run_request) =
               (Printf.sprintf "deadline of %gms exceeded" ms)))
     in
     tally t body;
+    let latency_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let outcome = outcome_of body in
+    Telemetry.observe_latency t.telemetry ~outcome latency_ms;
     (match body with
     | Proto.Ok_run b ->
-      Proto.Ok_run
-        { b with Proto.latency_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+      Telemetry.observe_cycles t.telemetry ~kernel:b.Proto.kernel
+        b.Proto.cycles
+    | _ -> ());
+    Telemetry.emit t.telemetry ~req:req.Proto.id ~kernel:req.Proto.kernel
+      ~outcome Telemetry.Resolve;
+    (match body with
+    | Proto.Ok_run b -> Proto.Ok_run { b with Proto.latency_ms }
     | other -> other)
 
 (* ------------------------------------------------------------------ *)
@@ -478,8 +775,29 @@ let drain t =
       done;
       Stats.snapshot t.reg)
 
+let telemetry t = t.telemetry
+
+let set_on_window t f = locked t (fun () -> t.on_window <- f)
+
+let refine_backlog t =
+  locked t (fun () -> Queue.length t.refine_jobs + Hashtbl.length t.refine_pending)
+
+(* Stop accepting jobs and join the refiner, letting an in-flight refine
+   finish: its acceptance still lands in the final stats snapshot. *)
+let stop_refiner t =
+  let th =
+    locked t (fun () ->
+        t.refine_stop <- true;
+        Condition.broadcast t.refine_cv;
+        let th = t.refiner in
+        t.refiner <- None;
+        th)
+  in
+  Option.iter Thread.join th
+
 let shutdown t =
   ignore (drain t);
+  stop_refiner t;
   let was_shut = locked t (fun () ->
       let w = t.shut in
       t.shut <- true;

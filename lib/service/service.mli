@@ -51,12 +51,22 @@ type config = {
       (** applied when a request carries no deadline; [None] = unbounded *)
   watchdog_window : int;   (** engine forward-progress watchdog, per run *)
   warm : bool;             (** pre-translate the kernel registry at create *)
+  profile_window : int option;
+      (** [Some n]: every [n]-th clean-environment run executes with the
+          attribution collector armed (pure observation — cycles, memory
+          and registers stay bit-identical); each captured window feeds the
+          cost model's measured oracles into a background refine pass
+          whose engine- and controller-confirmed placements are swapped
+          into the warm translation memo ({!Runner.swap_placement}), so
+          subsequent requests for that kernel can only get faster.
+          Counted in the [telemetry] stats group. [None] (default): no
+          profiling, no refiner thread. *)
 }
 
 val default_config : config
 (** 4 shards of 64 PEs, jobs = {!Pool.default_jobs}, queue depth 64,
     2 retries, 1-20 ms backoff, default breaker, no default deadline,
-    watchdog 512, warm. *)
+    watchdog 512, warm, no profiling windows. *)
 
 type t
 
@@ -78,7 +88,22 @@ val bad_request : t -> string -> Proto.body
 
 val stats : t -> Stats.snapshot
 (** Point-in-time readout of the [service] group (outcomes, breaker
-    transitions, queue, execution mix, memo). *)
+    transitions, queue, execution mix, memo) and the [telemetry] group
+    (profiling windows, oracle refreshes, refine accepts/rejects, memo
+    swaps, spans emitted). *)
+
+val telemetry : t -> Telemetry.t
+(** The service's live-telemetry hub: every request emits lifecycle spans
+    into it and its windowed sketches back the [watch] frames. *)
+
+val set_on_window : t -> (Stats.snapshot -> unit) -> unit
+(** Hook fired (from the worker thread, outside the service lock) with a
+    fresh stats snapshot each time a profiling window completes — the
+    `serve --stats-out` atomic flush rides on it. Default: no-op. *)
+
+val refine_backlog : t -> int
+(** Refine jobs queued or in flight — 0 means every captured window has
+    been fully processed. *)
 
 val draining : t -> bool
 

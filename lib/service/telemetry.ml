@@ -1,0 +1,506 @@
+type phase =
+  | Admit
+  | Queue
+  | Translate
+  | Execute
+  | Retry
+  | Breaker
+  | Resolve
+  | Profile_window
+  | Oracle_refresh
+  | Refine
+
+let all_phases =
+  [
+    Admit; Queue; Translate; Execute; Retry; Breaker; Resolve; Profile_window;
+    Oracle_refresh; Refine;
+  ]
+
+let phase_to_string = function
+  | Admit -> "admit"
+  | Queue -> "queue"
+  | Translate -> "translate"
+  | Execute -> "execute"
+  | Retry -> "retry"
+  | Breaker -> "breaker"
+  | Resolve -> "resolve"
+  | Profile_window -> "profile_window"
+  | Oracle_refresh -> "oracle_refresh"
+  | Refine -> "refine"
+
+let phase_of_string s =
+  match List.find_opt (fun p -> phase_to_string p = s) all_phases with
+  | Some p -> Ok p
+  | None -> Error (Printf.sprintf "unknown span phase %S" s)
+
+type span = {
+  sp_seq : int;
+  sp_at_ms : float;
+  sp_req : int;
+  sp_kernel : string;
+  sp_shard : int;
+  sp_phase : phase;
+  sp_outcome : string;
+  sp_detail : string;
+}
+
+let span_to_json sp =
+  Json.Assoc
+    [
+      ("seq", Json.Int sp.sp_seq);
+      ("at_ms", Json.Float sp.sp_at_ms);
+      ("req", Json.Int sp.sp_req);
+      ("kernel", Json.String sp.sp_kernel);
+      ("shard", Json.Int sp.sp_shard);
+      ("phase", Json.String (phase_to_string sp.sp_phase));
+      ("outcome", Json.String sp.sp_outcome);
+      ("detail", Json.String sp.sp_detail);
+    ]
+
+let ( let* ) = Result.bind
+
+let req_int name j =
+  match Option.bind (Json.member name j) Json.to_int with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "span: missing integer field %S" name)
+
+let req_float name j =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "span: missing numeric field %S" name)
+
+let opt_int ~default name j =
+  Option.value ~default (Option.bind (Json.member name j) Json.to_int)
+
+let opt_string ~default name j =
+  Option.value ~default (Option.bind (Json.member name j) Json.to_string_opt)
+
+let span_of_json j =
+  let* sp_seq = req_int "seq" j in
+  let* sp_at_ms = req_float "at_ms" j in
+  let* sp_phase =
+    match Option.bind (Json.member "phase" j) Json.to_string_opt with
+    | Some s -> phase_of_string s
+    | None -> Error "span: missing field \"phase\""
+  in
+  Ok
+    {
+      sp_seq;
+      sp_at_ms;
+      sp_req = opt_int ~default:(-1) "req" j;
+      sp_kernel = opt_string ~default:"" "kernel" j;
+      sp_shard = opt_int ~default:(-1) "shard" j;
+      sp_phase;
+      sp_outcome = opt_string ~default:"" "outcome" j;
+      sp_detail = opt_string ~default:"" "detail" j;
+    }
+
+let to_trace_span sp =
+  let args =
+    [ ("seq", Json.Int sp.sp_seq) ]
+    @ (if sp.sp_req >= 0 then [ ("req", Json.Int sp.sp_req) ] else [])
+    @ (if sp.sp_kernel <> "" then [ ("kernel", Json.String sp.sp_kernel) ]
+       else [])
+    @ (if sp.sp_outcome <> "" then
+         [ ("outcome", Json.String sp.sp_outcome) ]
+       else [])
+    @ if sp.sp_detail <> "" then [ ("detail", Json.String sp.sp_detail) ] else []
+  in
+  Trace.instant ~tid:(sp.sp_shard + 1) ~args ~cat:"service"
+    ~ts:(int_of_float sp.sp_at_ms)
+    (phase_to_string sp.sp_phase)
+
+(* ---------------- the hub ---------------- *)
+
+type t = {
+  lock : Mutex.t;
+  clock : unit -> float;
+  ring : span option array;
+  mutable next_seq : int;
+  n_windows : int;
+  window_ms : float;
+  mutable last_advance : float;
+  latency : (string, Sketch.t) Hashtbl.t;  (* by outcome *)
+  cycles : (string, Sketch.t) Hashtbl.t;   (* by kernel *)
+  profile_windows : (string, int ref) Hashtbl.t;
+  refine_accepts : (string, int ref) Hashtbl.t;
+}
+
+let create ?(ring = 4096) ?(windows = 8) ?(window_ms = 250.0) ?clock () =
+  if ring < 1 then invalid_arg "Telemetry.create: ring must be >= 1";
+  if windows < 1 then invalid_arg "Telemetry.create: windows must be >= 1";
+  if not (window_ms > 0.0) then
+    invalid_arg "Telemetry.create: window_ms must be positive";
+  let clock =
+    match clock with
+    | Some c -> c
+    | None ->
+      let t0 = Unix.gettimeofday () in
+      fun () -> (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  {
+    lock = Mutex.create ();
+    clock;
+    ring = Array.make ring None;
+    next_seq = 0;
+    n_windows = windows;
+    window_ms;
+    last_advance = clock ();
+    latency = Hashtbl.create 8;
+    cycles = Hashtbl.create 8;
+    profile_windows = Hashtbl.create 8;
+    refine_accepts = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Rotate the sketch rings to catch up with the clock. Advancing past the
+   window depth clears everything, so catch-up work is bounded regardless
+   of how long the hub sat idle. Lock held. *)
+let tick t now =
+  if now -. t.last_advance >= t.window_ms then begin
+    let steps = int_of_float ((now -. t.last_advance) /. t.window_ms) in
+    let eff = min steps t.n_windows in
+    let adv _ sk = for _ = 1 to eff do Sketch.advance sk done in
+    Hashtbl.iter adv t.latency;
+    Hashtbl.iter adv t.cycles;
+    t.last_advance <- t.last_advance +. (float_of_int steps *. t.window_ms)
+  end
+
+let sketch_for t table key =
+  match Hashtbl.find_opt table key with
+  | Some sk -> sk
+  | None ->
+    let sk = Sketch.create ~windows:t.n_windows () in
+    Hashtbl.add table key sk;
+    sk
+
+let count_for table key =
+  match Hashtbl.find_opt table key with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add table key r;
+    r
+
+let emit t ?(req = -1) ?(kernel = "") ?(shard = -1) ?(outcome = "")
+    ?(detail = "") phase =
+  locked t (fun () ->
+      let now = t.clock () in
+      tick t now;
+      let sp =
+        {
+          sp_seq = t.next_seq;
+          sp_at_ms = now;
+          sp_req = req;
+          sp_kernel = kernel;
+          sp_shard = shard;
+          sp_phase = phase;
+          sp_outcome = outcome;
+          sp_detail = detail;
+        }
+      in
+      t.ring.(t.next_seq mod Array.length t.ring) <- Some sp;
+      t.next_seq <- t.next_seq + 1)
+
+let observe_latency t ~outcome ms =
+  locked t (fun () ->
+      tick t (t.clock ());
+      Sketch.observe (sketch_for t t.latency outcome) ms)
+
+let observe_cycles t ~kernel cycles =
+  locked t (fun () ->
+      tick t (t.clock ());
+      Sketch.observe (sketch_for t t.cycles kernel) (float_of_int cycles))
+
+let note_profile_window t ~kernel =
+  locked t (fun () -> incr (count_for t.profile_windows kernel))
+
+let note_refine_accept t ~kernel =
+  locked t (fun () -> incr (count_for t.refine_accepts kernel))
+
+let spans_emitted t = locked t (fun () -> t.next_seq)
+
+(* ---------------- trace subscriptions ---------------- *)
+
+type cursor = { mutable cur : int; mutable dropped : int }
+
+let subscribe t = locked t (fun () -> { cur = t.next_seq; dropped = 0 })
+
+let poll t cursor ~max:limit =
+  locked t (fun () ->
+      let cap = Array.length t.ring in
+      let oldest = max 0 (t.next_seq - cap) in
+      if cursor.cur < oldest then begin
+        cursor.dropped <- cursor.dropped + (oldest - cursor.cur);
+        cursor.cur <- oldest
+      end;
+      let n = min limit (t.next_seq - cursor.cur) in
+      let out = ref [] in
+      for i = cursor.cur + n - 1 downto cursor.cur do
+        match t.ring.(i mod cap) with
+        | Some sp -> out := sp :: !out
+        | None -> ()
+      done;
+      cursor.cur <- cursor.cur + n;
+      !out)
+
+let cursor_dropped cursor = cursor.dropped
+
+(* ---------------- watch frames ---------------- *)
+
+type quantiles = {
+  q_count : int;
+  q_p50 : float;
+  q_p90 : float;
+  q_p99 : float;
+  q_max : float;
+}
+
+let empty_quantiles = { q_count = 0; q_p50 = 0.; q_p90 = 0.; q_p99 = 0.; q_max = 0. }
+
+let quantiles_of sk =
+  {
+    q_count = Sketch.window_count sk;
+    q_p50 = Sketch.quantile sk 0.5;
+    q_p90 = Sketch.quantile sk 0.9;
+    q_p99 = Sketch.quantile sk 0.99;
+    q_max = Sketch.window_max sk;
+  }
+
+type outcome_row = { o_total : int; o_delta : int; o_window : quantiles }
+
+type kernel_row = {
+  k_window : quantiles;
+  k_profile_windows : int;
+  k_refine_accepts : int;
+}
+
+type frame = {
+  f_seq : int;
+  f_at_ms : float;
+  f_dropped : int;
+  f_outcomes : (string * outcome_row) list;
+  f_kernels : (string * kernel_row) list;
+  f_deltas : (string * int) list;
+  f_totals : (string * int) list;
+}
+
+type watcher = {
+  mutable w_seq : int;
+  mutable w_base : (string * int) list;
+  mutable w_dropped : int;
+}
+
+let watcher _t = { w_seq = 0; w_base = []; w_dropped = 0 }
+
+let note_missed w n = w.w_dropped <- w.w_dropped + n
+
+let watched_prefix path =
+  String.starts_with ~prefix:"service." path
+  || String.starts_with ~prefix:"telemetry." path
+
+let int_totals snapshot =
+  List.filter_map
+    (fun (path, e) ->
+      match e with
+      | Stats.Value (Stats.VInt n) when watched_prefix path -> Some (path, n)
+      | _ -> None)
+    (Stats.to_assoc snapshot)
+
+let outcome_names =
+  "ok" :: List.map Proto.error_kind_to_string Proto.all_error_kinds
+
+let next_frame t w snapshot =
+  locked t (fun () ->
+      let now = t.clock () in
+      tick t now;
+      let totals = int_totals snapshot in
+      let base p = Option.value ~default:0 (List.assoc_opt p w.w_base) in
+      let deltas =
+        List.filter_map
+          (fun (p, n) -> if n <> base p then Some (p, n - base p) else None)
+          totals
+      in
+      let f_outcomes =
+        List.map
+          (fun name ->
+            let path = "service.outcomes." ^ name in
+            let total = Option.value ~default:0 (List.assoc_opt path totals) in
+            let window =
+              match Hashtbl.find_opt t.latency name with
+              | Some sk -> quantiles_of sk
+              | None -> empty_quantiles
+            in
+            (name, { o_total = total; o_delta = total - base path; o_window = window }))
+          outcome_names
+      in
+      let kernel_names =
+        let names = Hashtbl.create 8 in
+        Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) t.cycles;
+        Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) t.profile_windows;
+        Hashtbl.iter (fun k _ -> Hashtbl.replace names k ()) t.refine_accepts;
+        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) names [])
+      in
+      let f_kernels =
+        List.map
+          (fun k ->
+            let window =
+              match Hashtbl.find_opt t.cycles k with
+              | Some sk -> quantiles_of sk
+              | None -> empty_quantiles
+            in
+            let count tbl =
+              match Hashtbl.find_opt tbl k with Some r -> !r | None -> 0
+            in
+            ( k,
+              {
+                k_window = window;
+                k_profile_windows = count t.profile_windows;
+                k_refine_accepts = count t.refine_accepts;
+              } ))
+          kernel_names
+      in
+      let frame =
+        {
+          f_seq = w.w_seq;
+          f_at_ms = now;
+          f_dropped = w.w_dropped;
+          f_outcomes;
+          f_kernels;
+          f_deltas = deltas;
+          f_totals = totals;
+        }
+      in
+      w.w_seq <- w.w_seq + 1;
+      w.w_base <- totals;
+      frame)
+
+(* ---------------- frame codec ---------------- *)
+
+let schema = "mesa-telemetry-v1"
+
+let quantiles_to_json q =
+  Json.Assoc
+    [
+      ("count", Json.Int q.q_count);
+      ("p50", Json.Float q.q_p50);
+      ("p90", Json.Float q.q_p90);
+      ("p99", Json.Float q.q_p99);
+      ("max", Json.Float q.q_max);
+    ]
+
+let quantiles_of_json j =
+  let* q_count = req_int "count" j in
+  let* q_p50 = req_float "p50" j in
+  let* q_p90 = req_float "p90" j in
+  let* q_p99 = req_float "p99" j in
+  let* q_max = req_float "max" j in
+  Ok { q_count; q_p50; q_p90; q_p99; q_max }
+
+let frame_to_json f =
+  Json.Assoc
+    [
+      ("schema", Json.String schema);
+      ("seq", Json.Int f.f_seq);
+      ("at_ms", Json.Float f.f_at_ms);
+      ("dropped", Json.Int f.f_dropped);
+      ( "outcomes",
+        Json.Assoc
+          (List.map
+             (fun (name, r) ->
+               ( name,
+                 Json.Assoc
+                   [
+                     ("total", Json.Int r.o_total);
+                     ("delta", Json.Int r.o_delta);
+                     ("latency_ms", quantiles_to_json r.o_window);
+                   ] ))
+             f.f_outcomes) );
+      ( "kernels",
+        Json.Assoc
+          (List.map
+             (fun (name, r) ->
+               ( name,
+                 Json.Assoc
+                   [
+                     ("cycles", quantiles_to_json r.k_window);
+                     ("profile_windows", Json.Int r.k_profile_windows);
+                     ("refine_accepts", Json.Int r.k_refine_accepts);
+                   ] ))
+             f.f_kernels) );
+      ( "deltas",
+        Json.Assoc (List.map (fun (p, n) -> (p, Json.Int n)) f.f_deltas) );
+      ( "totals",
+        Json.Assoc (List.map (fun (p, n) -> (p, Json.Int n)) f.f_totals) );
+    ]
+
+let int_assoc name j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "frame: missing field %S" name)
+  | Some v -> (
+    match Json.to_assoc v with
+    | None -> Error (Printf.sprintf "frame: field %S is not an object" name)
+    | Some l ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (p, v) :: rest -> (
+          match Json.to_int v with
+          | Some n -> go ((p, n) :: acc) rest
+          | None ->
+            Error (Printf.sprintf "frame: %s.%s is not an integer" name p))
+      in
+      go [] l)
+
+let frame_of_json j =
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.to_string_opt with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "frame: unknown schema %S" s)
+    | None -> Error "frame: missing field \"schema\""
+  in
+  let* f_seq = req_int "seq" j in
+  let* f_at_ms = req_float "at_ms" j in
+  let* f_dropped = req_int "dropped" j in
+  let* f_outcomes =
+    match Option.bind (Json.member "outcomes" j) Json.to_assoc with
+    | None -> Error "frame: missing object field \"outcomes\""
+    | Some l ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (name, v) :: rest ->
+          let* o_total = req_int "total" v in
+          let* o_delta = req_int "delta" v in
+          let* o_window =
+            match Json.member "latency_ms" v with
+            | Some q -> quantiles_of_json q
+            | None -> Error "frame: outcome row missing \"latency_ms\""
+          in
+          go ((name, { o_total; o_delta; o_window }) :: acc) rest
+      in
+      go [] l
+  in
+  let* f_kernels =
+    match Option.bind (Json.member "kernels" j) Json.to_assoc with
+    | None -> Error "frame: missing object field \"kernels\""
+    | Some l ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (name, v) :: rest ->
+          let* k_window =
+            match Json.member "cycles" v with
+            | Some q -> quantiles_of_json q
+            | None -> Error "frame: kernel row missing \"cycles\""
+          in
+          let* k_profile_windows = req_int "profile_windows" v in
+          let* k_refine_accepts = req_int "refine_accepts" v in
+          go ((name, { k_window; k_profile_windows; k_refine_accepts }) :: acc)
+            rest
+      in
+      go [] l
+  in
+  let* f_deltas = int_assoc "deltas" j in
+  let* f_totals = int_assoc "totals" j in
+  Ok { f_seq; f_at_ms; f_dropped; f_outcomes; f_kernels; f_deltas; f_totals }

@@ -50,9 +50,14 @@ val await_timeout : 'a future -> float -> 'a option
     the task: [Some v] when it settles in time, [None] on timeout — the
     task itself keeps running and a later {!await} still yields its result.
     Re-raises like {!await} if the task failed within the window. A
-    non-positive [secs] is a {!try_await}. Waiting polls with exponential
-    sleeps (50us up to 5ms), so a dispatcher enforcing deadlines never
-    blocks forever on a wedged worker. *)
+    non-positive [secs] is a {!try_await} — the initial poll always runs,
+    so an already-settled future yields its result (or re-raises) even
+    with a zero window; [None] on [secs <= 0.0] means strictly "still
+    pending now". Waiting polls with exponential sleeps (50us up to 5ms):
+    a task settling anywhere inside the window is picked up by the next
+    poll step (within ~5ms, never lost to a missed wakeup), and a
+    dispatcher enforcing deadlines never blocks forever on a wedged
+    worker. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Submit [f x] for every element, then await them all; the result list is

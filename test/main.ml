@@ -34,4 +34,5 @@ let () =
          Test_profile.suites;
          Test_gen.suites;
          Test_service.suites;
+         Test_telemetry.suites;
        ])

@@ -103,6 +103,46 @@ let await_timeout_times_out_then_settles () =
       check (Alcotest.option Alcotest.int) "later wait sees the result" (Some 23)
         (Pool.await_timeout f 5.0))
 
+let await_timeout_zero_polls_settled_state () =
+  (* A non-positive window is a poll, not an unconditional None: the
+     initial try_await runs first, so a settled future still yields. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let f = Pool.submit pool (fun () -> 5) in
+      check Alcotest.int "settle it" 5 (Pool.await f);
+      check (Alcotest.option Alcotest.int) "zero window on settled future"
+        (Some 5)
+        (Pool.await_timeout f 0.0);
+      check (Alcotest.option Alcotest.int) "negative window too" (Some 5)
+        (Pool.await_timeout f (-1.0)))
+
+let await_timeout_completion_race () =
+  (* The task settles mid-window, from another thread: the bounded wait
+     must pick the result up promptly (next poll step) instead of either
+     sleeping the window out or losing the wakeup. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let gate = Atomic.make false in
+      let f =
+        Pool.submit pool (fun () ->
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done;
+            31)
+      in
+      let opener =
+        Thread.create
+          (fun () ->
+            Unix.sleepf 0.05;
+            Atomic.set gate true)
+          ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Pool.await_timeout f 30.0 in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Thread.join opener;
+      check (Alcotest.option Alcotest.int) "settled mid-window" (Some 31) r;
+      check Alcotest.bool "returned well before the deadline" true
+        (elapsed < 10.0))
+
 let await_timeout_propagates_exceptions () =
   Pool.with_pool ~jobs:1 (fun pool ->
       let f = Pool.submit pool (fun () -> failwith "boom") in
@@ -155,6 +195,10 @@ let suites =
         Alcotest.test_case "default jobs" `Quick default_jobs_positive;
         Alcotest.test_case "try_await" `Quick try_await_polls_without_blocking;
         Alcotest.test_case "await_timeout" `Quick await_timeout_times_out_then_settles;
+        Alcotest.test_case "await_timeout zero window" `Quick
+          await_timeout_zero_polls_settled_state;
+        Alcotest.test_case "await_timeout completion race" `Quick
+          await_timeout_completion_race;
         Alcotest.test_case "await_timeout exceptions" `Quick
           await_timeout_propagates_exceptions;
         QCheck_alcotest.to_alcotest qcheck_map_is_list_map;

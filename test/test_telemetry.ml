@@ -1,0 +1,255 @@
+(* The live-telemetry layer: sketch quantile/merge laws, frame and span
+   codecs, slow-consumer shedding on the span ring — and the two
+   service-level contracts of the profiling-window feedback loop: armed
+   telemetry never changes results, and oracle-fed refinement never makes
+   a kernel slower. *)
+
+let check = Alcotest.check
+
+(* ---------------- sketches ---------------- *)
+
+(* Op streams for the qcheck laws: non-negative ints decode to an
+   observation or (every 7th value) a ring advance, so the generator
+   exercises sub-window alignment too. Observations are integer-valued so
+   the sketch's float sums are exact and merge order cannot perturb them
+   (0.1 +. 0.3 +. 0.6 associates differently; 1. +. 3. +. 6. does not). *)
+let apply_ops sk ops =
+  List.iter
+    (fun i ->
+      let i = abs i in
+      if i mod 7 = 0 then Sketch.advance sk
+      else Sketch.observe sk (float_of_int (i mod 1000)))
+    ops
+
+let sketch_of ops =
+  let sk = Sketch.create () in
+  apply_ops sk ops;
+  sk
+
+let sketch_eq a b = Json.to_string (Sketch.to_json a) = Json.to_string (Sketch.to_json b)
+
+let qcheck_merge_assoc_comm =
+  QCheck.Test.make ~count:100
+    ~name:"Sketch.merge is associative and commutative (to_json equality)"
+    QCheck.(triple (small_list small_int) (small_list small_int) (small_list small_int))
+    (fun (xs, ys, zs) ->
+      let a () = sketch_of xs and b () = sketch_of ys and c () = sketch_of zs in
+      sketch_eq
+        (Sketch.merge (Sketch.merge (a ()) (b ())) (c ()))
+        (Sketch.merge (a ()) (Sketch.merge (b ()) (c ())))
+      && sketch_eq (Sketch.merge (a ()) (b ())) (Sketch.merge (b ()) (a ())))
+
+(* The documented quantile guarantee: never an underestimate, at most the
+   bucket ratio over (or the floor, below it). Values are drawn on the
+   sketch's own 1e-3 resolution so the true quantile is unambiguous. *)
+let qcheck_quantile_bounds =
+  QCheck.Test.make ~count:200 ~name:"Sketch.quantile error bound"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 200) (int_bound 1_000_000))
+        (int_bound 100))
+    (fun (raw, qi) ->
+      let values = List.map (fun i -> float_of_int i /. 1000.0) raw in
+      let q = float_of_int qi /. 100.0 in
+      let sk = Sketch.create () in
+      List.iter (Sketch.observe sk) values;
+      let est = Sketch.quantile sk q in
+      let n = List.length values in
+      let sorted = List.sort compare values in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let true_q = List.nth sorted (rank - 1) in
+      let hi = Float.max Sketch.floor_value (true_q *. Sketch.ratio) in
+      est >= true_q && est <= hi *. (1.0 +. 1e-9))
+
+let sketch_json_roundtrip () =
+  let sk = sketch_of [ 3; 15; 7; 142; 9; 21; 500; 7; 999; 14; 6 ] in
+  match Sketch.of_json (Sketch.to_json sk) with
+  | Error e -> Alcotest.fail ("sketch decode: " ^ e)
+  | Ok back ->
+    check Alcotest.bool "canonical encoding round-trips" true (sketch_eq sk back);
+    check Alcotest.int "window count preserved" (Sketch.window_count sk)
+      (Sketch.window_count back);
+    check (Alcotest.float 0.0) "p99 preserved" (Sketch.quantile sk 0.99)
+      (Sketch.quantile back 0.99)
+
+(* ---------------- frames and spans ---------------- *)
+
+(* A deterministic hub: time only moves when the test says so. *)
+let manual_hub () =
+  let now = ref 0.0 in
+  let hub = Telemetry.create ~ring:64 ~windows:4 ~window_ms:100.0 ~clock:(fun () -> !now) () in
+  (hub, now)
+
+let frame_json_roundtrip () =
+  let hub, now = manual_hub () in
+  Telemetry.emit hub ~req:1 ~kernel:"nn" ~shard:0 Telemetry.Admit;
+  Telemetry.observe_latency hub ~outcome:"ok" 2.25;
+  Telemetry.observe_latency hub ~outcome:"overloaded" 0.4;
+  Telemetry.observe_cycles hub ~kernel:"nn" 11464;
+  Telemetry.note_profile_window hub ~kernel:"nn";
+  Telemetry.note_refine_accept hub ~kernel:"nn";
+  now := 123.0;
+  let w = Telemetry.watcher hub in
+  Telemetry.note_missed w 2;
+  let f = Telemetry.next_frame hub w Stats.empty in
+  let j = Telemetry.frame_to_json f in
+  (match Telemetry.frame_of_json j with
+  | Error e -> Alcotest.fail ("frame decode: " ^ e)
+  | Ok back ->
+    check Alcotest.string "frame round-trips bit-identically"
+      (Json.to_string j)
+      (Json.to_string (Telemetry.frame_to_json back));
+    check Alcotest.int "dropped ticks survive" 2 back.Telemetry.f_dropped;
+    (match List.assoc_opt "nn" back.Telemetry.f_kernels with
+    | None -> Alcotest.fail "kernel row lost"
+    | Some k ->
+      check Alcotest.int "profile windows" 1 k.Telemetry.k_profile_windows;
+      check Alcotest.int "refine accepts" 1 k.Telemetry.k_refine_accepts));
+  (* Every taxonomy outcome is present in every frame, zeros included. *)
+  check Alcotest.int "all outcomes present"
+    (1 + List.length Proto.all_error_kinds)
+    (List.length f.Telemetry.f_outcomes)
+
+let span_json_roundtrip () =
+  let hub, _ = manual_hub () in
+  Telemetry.emit hub ~req:7 ~kernel:"bfs" ~shard:1 ~outcome:"ok"
+    ~detail:"14081 cycles" Telemetry.Execute;
+  let cursor = Telemetry.subscribe hub in
+  Telemetry.emit hub ~req:8 ~kernel:"kmeans" ~shard:0 Telemetry.Refine;
+  match Telemetry.poll hub cursor ~max:10 with
+  | [ sp ] ->
+    (match Telemetry.span_of_json (Telemetry.span_to_json sp) with
+    | Error e -> Alcotest.fail ("span decode: " ^ e)
+    | Ok back ->
+      check Alcotest.string "span round-trips bit-identically"
+        (Json.to_string (Telemetry.span_to_json sp))
+        (Json.to_string (Telemetry.span_to_json back)))
+  | spans -> Alcotest.failf "expected 1 span after subscribe, got %d" (List.length spans)
+
+(* Deltas across a watcher's stream telescope to the final totals — the
+   closure property `mesa_cli telemetry-check` gates on. *)
+let watcher_deltas_close () =
+  let hub, _ = manual_hub () in
+  let reg = Stats.registry () in
+  let g = Stats.group reg "service" in
+  let og = Stats.subgroup g "outcomes" in
+  let ok = Stats.counter og "ok" in
+  let w = Telemetry.watcher hub in
+  let deltas = ref 0 in
+  for i = 1 to 4 do
+    Stats.add ok i;
+    let f = Telemetry.next_frame hub w (Stats.snapshot reg) in
+    (match List.assoc_opt "ok" f.Telemetry.f_outcomes with
+    | Some r ->
+      deltas := !deltas + r.Telemetry.o_delta;
+      if i = 4 then
+        check Alcotest.int "summed deltas equal the final total" r.Telemetry.o_total !deltas
+    | None -> Alcotest.fail "ok row missing")
+  done
+
+(* ---------------- slow-consumer shedding ---------------- *)
+
+let ring_sheds_forward () =
+  let hub, _ = manual_hub () in
+  (* ring = 64: subscribe, then overrun it. *)
+  let cursor = Telemetry.subscribe hub in
+  for i = 0 to 199 do
+    Telemetry.emit hub ~req:i Telemetry.Admit
+  done;
+  let spans = Telemetry.poll hub cursor ~max:1000 in
+  check Alcotest.int "only the retained suffix is delivered" 64 (List.length spans);
+  check Alcotest.int "shed count is exact" 136 (Telemetry.cursor_dropped cursor);
+  (* Delivered spans keep their original, contiguous sequence numbers. *)
+  List.iteri
+    (fun i sp ->
+      check Alcotest.int
+        (Printf.sprintf "seq at position %d" i)
+        (136 + i) sp.Telemetry.sp_seq)
+    spans;
+  check (Alcotest.list Alcotest.int) "a drained cursor yields nothing" []
+    (List.map (fun s -> s.Telemetry.sp_seq) (Telemetry.poll hub cursor ~max:10))
+
+(* ---------------- the service-level contracts ---------------- *)
+
+let exec_ok svc id kernel =
+  match Service.execute svc (Proto.run_request ~id kernel) with
+  | Proto.Ok_run b -> b
+  | Proto.Err e -> Alcotest.failf "%s: %s" kernel e.Proto.message
+  | _ -> Alcotest.fail "unexpected body"
+
+let base_config =
+  {
+    Service.default_config with
+    Service.shards = 1;
+    shard_pes = 64;
+    jobs = 1;
+    warm = false;
+  }
+
+(* Armed telemetry is pure observation: the first response of a profiling
+   service (every run profiled) is bit-identical to an unprofiled one. *)
+let telemetry_on_off_bit_identical () =
+  let run profile_window =
+    let svc = Service.create ~config:{ base_config with Service.profile_window } () in
+    Fun.protect
+      ~finally:(fun () -> Service.shutdown svc)
+      (fun () -> exec_ok svc 1 "nn")
+  in
+  let off = run None in
+  let on = run (Some 1) in
+  check Alcotest.int "cycles identical" off.Proto.cycles on.Proto.cycles;
+  check Alcotest.int "memory checksum identical" off.Proto.mem_checksum
+    on.Proto.mem_checksum;
+  check Alcotest.int "offloads identical" off.Proto.offloads on.Proto.offloads
+
+(* The feedback loop end to end: a profiled run's measured oracles drive a
+   background refine whose accepted placement is swapped into the warm
+   memo — and the re-executed kernel never got slower (kmeans on M-64 has
+   known refinement headroom, so an accept must actually land). *)
+let oracle_fed_refine_never_regresses () =
+  let config = { base_config with Service.profile_window = Some 1 } in
+  let svc = Service.create ~config () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown svc)
+    (fun () ->
+      let first = exec_ok svc 1 "kmeans" in
+      (* The profiled run queued a refine; wait for the refiner to drain. *)
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      while Service.refine_backlog svc > 0 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.02
+      done;
+      check Alcotest.int "refiner drained" 0 (Service.refine_backlog svc);
+      let snap = Service.stats svc in
+      let stat p = Option.value ~default:0 (Stats.find_int snap p) in
+      check Alcotest.bool "a profiling window was captured" true
+        (stat "telemetry.profile_windows" >= 1);
+      check Alcotest.bool "oracles were handed to the refiner" true
+        (stat "telemetry.oracle_refreshes" >= 1);
+      check Alcotest.bool "the refinement was confirmed and installed" true
+        (stat "telemetry.refine_accepts" >= 1);
+      let second = exec_ok svc 2 "kmeans" in
+      check Alcotest.bool
+        (Printf.sprintf "never regress: %d <= %d" second.Proto.cycles
+           first.Proto.cycles)
+        true
+        (second.Proto.cycles <= first.Proto.cycles);
+      check Alcotest.int "results unchanged by the swap" first.Proto.mem_checksum
+        second.Proto.mem_checksum)
+
+let suites =
+  [
+    ( "telemetry",
+      [
+        QCheck_alcotest.to_alcotest qcheck_merge_assoc_comm;
+        QCheck_alcotest.to_alcotest qcheck_quantile_bounds;
+        Alcotest.test_case "sketch json roundtrip" `Quick sketch_json_roundtrip;
+        Alcotest.test_case "frame json roundtrip" `Quick frame_json_roundtrip;
+        Alcotest.test_case "span json roundtrip" `Quick span_json_roundtrip;
+        Alcotest.test_case "watcher delta closure" `Quick watcher_deltas_close;
+        Alcotest.test_case "ring sheds forward" `Quick ring_sheds_forward;
+        Alcotest.test_case "telemetry on/off bit-identity" `Slow
+          telemetry_on_off_bit_identical;
+        Alcotest.test_case "oracle-fed refine never regresses" `Slow
+          oracle_fed_refine_never_regresses;
+      ] );
+  ]
